@@ -1,0 +1,25 @@
+(* Full experiment harness: regenerates every table/figure object of the
+   paper (tables F1..E14, see DESIGN.md section 4), then runs the
+   bechamel micro-benchmarks.
+
+   Usage: dune exec bench/main.exe [-- --tables-only | --micro-only | --csv DIR] *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let tables = not (List.mem "--micro-only" args) in
+  let micro = not (List.mem "--tables-only" args) in
+  let rec find_csv = function
+    | "--csv" :: dir :: _ -> Some dir
+    | _ :: rest -> find_csv rest
+    | [] -> None
+  in
+  (match find_csv args with
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Tables.csv_dir := Some dir
+  | None -> ());
+  print_endline "Simulating Binary Trees on X-Trees (Monien, SPAA 1991) - reproduction harness";
+  print_endline "==============================================================================";
+  print_newline ();
+  if tables then Tables.run_all ();
+  if micro then Micro.run ()

@@ -1,0 +1,75 @@
+(* Bechamel micro-benchmarks B1..B6: wall-clock cost of each pipeline
+   stage, one Test.make per stage. *)
+
+open Bechamel
+open Toolkit
+open Xt_prelude
+open Xt_bintree
+open Xt_core
+
+let n_bench = Theorem1.optimal_size 5 (* 1008 nodes *)
+
+let prepared_tree =
+  lazy
+    (let rng = Rng.make ~seed:99 in
+     Gen.uniform rng n_bench)
+
+let tests =
+  Test.make_grouped ~name:"xtree"
+    [
+      Test.make ~name:"B1 generate uniform n=1008"
+        (Staged.stage (fun () ->
+             let rng = Rng.make ~seed:1 in
+             ignore (Gen.uniform rng n_bench)));
+      Test.make ~name:"B2 lemma2 split n=1008"
+        (Staged.stage (fun () ->
+             let tree = Lazy.force prepared_tree in
+             let ws = Separator.make_ws tree in
+             let piece = { Separator.nodes = List.init n_bench Fun.id; r1 = 0; r2 = None } in
+             ignore (Separator.lemma2 ws piece ~target:(n_bench / 2))));
+      Test.make ~name:"B3 theorem1 embed n=1008"
+        (Staged.stage (fun () ->
+             let tree = Lazy.force prepared_tree in
+             ignore (Theorem1.embed tree)));
+      Test.make ~name:"B4 hypercube transfer n=1008"
+        (Staged.stage (fun () ->
+             let tree = Lazy.force prepared_tree in
+             ignore (Hypercube_transfer.embed tree)));
+      Test.make ~name:"B5 N(a) sweep X(8)"
+        (Staged.stage (fun () ->
+             let xt = Xt_topology.Xtree.create ~height:8 in
+             for a = 0 to Xt_topology.Xtree.order xt - 1 do
+               ignore (Xt_topology.Xtree.neighbourhood xt a)
+             done));
+      Test.make ~name:"B6 reduction sim n=1008"
+        (Staged.stage (fun () ->
+             let tree = Lazy.force prepared_tree in
+             ignore (Xt_netsim.Workload.run_native Xt_netsim.Workload.reduction tree)));
+      Test.make ~name:"B7 analytic distance sweep X(10)"
+        (Staged.stage (fun () ->
+             (* 2047 vertices, all distances from one source, no BFS *)
+             let xt = Xt_topology.Xtree.create ~height:10 in
+             let total = ref 0 in
+             for v = 0 to Xt_topology.Xtree.order xt - 1 do
+               total := !total + Xt_topology.Xtree.analytic_distance 1000 v
+             done;
+             ignore !total));
+    ]
+
+let run () =
+  print_endline "== Micro-benchmarks (bechamel; ns per run) ==";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> Printf.sprintf "%12.0f ns/run" e
+        | _ -> "(no estimate)"
+      in
+      Printf.printf "%-32s %s\n" name est)
+    (List.sort compare rows)

@@ -1,0 +1,929 @@
+(* Experiment tables F1..E10 — one per paper object, as indexed in
+   DESIGN.md section 4. Each function prints one table; EXPERIMENTS.md
+   records the paper-vs-measured comparison of a reference run. *)
+
+open Xt_prelude
+open Xt_topology
+open Xt_bintree
+open Xt_embedding
+open Xt_core
+open Xt_baseline
+open Xt_netsim
+
+let families = [ "complete"; "path"; "caterpillar"; "random-bst"; "uniform"; "skewed" ]
+
+(* Where tables go: always stdout; optionally also one CSV per table. *)
+let csv_dir : string option ref = ref None
+
+(* "E13b Exact optimal ..." -> "e13b" *)
+let slug title =
+  let first_token =
+    match String.index_opt title ' ' with Some i -> String.sub title 0 i | None -> title
+  in
+  String.lowercase_ascii first_token
+
+let emit t =
+  Tab.print t;
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      let file = Filename.concat dir (slug (Tab.title t) ^ ".csv") in
+      let oc = open_out file in
+      output_string oc (Tab.to_csv t);
+      close_out oc
+
+let fresh_rng = ref (Rng.make ~seed:20260704)
+
+let tree_of name n =
+  (* a fresh deterministic stream per (name, n) keeps tables stable under
+     reordering *)
+  let rng = Rng.make ~seed:(Hashtbl.hash (name, n, 20260704)) in
+  (Gen.family name).generate rng n
+
+(* ------------------------------------------------------------------ *)
+
+let f1_xtree_structure () =
+  let t = Tab.create ~title:"F1  X-tree structure (Figure 1)" [ "r"; "vertices"; "edges"; "tree-edges"; "horiz-edges"; "max-deg"; "diameter" ] in
+  List.iter
+    (fun r ->
+      let xt = Xtree.create ~height:r in
+      let g = Xtree.graph xt in
+      let tree_edges = Xtree.order xt - 1 in
+      let horiz = Graph.m g - tree_edges in
+      Tab.add_int_row t (string_of_int r)
+        [ Xtree.order xt; Graph.m g; tree_edges; horiz; Graph.max_degree g; Graph.diameter g ])
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ];
+  emit t
+
+let f2_neighbourhood () =
+  let t =
+    Tab.create ~title:"F2  Neighbourhood N(a) (Figure 2; paper: |N(a)-a| <= 20, asym <= 5)"
+      [ "r"; "max |N(a)-a|"; "max asym in-nbrs" ]
+  in
+  List.iter
+    (fun r ->
+      let xt = Xtree.create ~height:r in
+      let order = Xtree.order xt in
+      let n_of = Array.init order (fun a -> Xtree.neighbourhood xt a) in
+      let maxn = ref 0 and maxasym = ref 0 in
+      for a = 0 to order - 1 do
+        let sz = List.length n_of.(a) - 1 in
+        if sz > !maxn then maxn := sz;
+        let asym = ref 0 in
+        for b = 0 to order - 1 do
+          if b <> a && List.mem a n_of.(b) && not (List.mem b n_of.(a)) then incr asym
+        done;
+        if !asym > !maxasym then maxasym := !asym
+      done;
+      Tab.add_int_row t (string_of_int r) [ !maxn; !maxasym ])
+    [ 2; 3; 4; 5; 6; 7 ];
+  emit t
+
+let f3_network_zoo () =
+  let t =
+    Tab.create
+      ~title:"F3  Network zoo at comparable sizes (context for the paper's introduction)"
+      [ "network"; "vertices"; "edges"; "max-deg"; "diameter" ]
+  in
+  let add name g =
+    Tab.add_row t
+      [
+        name;
+        string_of_int (Graph.n g);
+        string_of_int (Graph.m g);
+        string_of_int (Graph.max_degree g);
+        string_of_int (Graph.diameter g);
+      ]
+  in
+  add "X-tree X(7)" (Xtree.graph (Xtree.create ~height:7));
+  add "CBT B(7)" (Cbt.graph (Cbt.create ~height:7));
+  add "hypercube Q8" (Hypercube.graph (Hypercube.create ~dim:8));
+  add "CCC(5)" (Ccc.graph (Ccc.create ~dim:5));
+  add "butterfly BF(5)" (Butterfly.graph (Butterfly.create ~dim:5));
+  add "grid 16x16" (Grid.graph (Grid.create ~rows:16 ~cols:16));
+  emit t
+
+(* ------------------------------------------------------------------ *)
+
+let lemma_table ~title ~lemma ~bound_of ~max_target () =
+  let t =
+    Tab.create ~title
+      [ "family"; "n"; "trials"; "max err"; "err bound"; "max |s1|"; "max |s2|"; "all valid" ]
+  in
+  let rng = !fresh_rng in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun n ->
+          let tree = tree_of name n in
+          let ws = Separator.make_ws tree in
+          let nodes = List.init n Fun.id in
+          let low_degree = List.filter (fun v -> Bintree.degree tree v <= 2) nodes in
+          let trials = 60 in
+          let max_err = ref 0 and max_s1 = ref 0 and max_s2 = ref 0 in
+          let worst_bound = ref 0 and valid = ref true in
+          for _ = 1 to trials do
+            let r1 = List.nth low_degree (Rng.int rng (List.length low_degree)) in
+            let r2_raw = Rng.int rng n in
+            let r2 = if r2_raw = r1 then None else Some r2_raw in
+            let piece = { Separator.nodes; r1; r2 } in
+            let target = 1 + Rng.int rng (max_target n) in
+            let sp = lemma ws piece ~target in
+            let _, n2 = Separator.side_sizes sp in
+            let err = abs (n2 - target) in
+            let bound = bound_of target in
+            if err > !max_err then max_err := err;
+            if err > bound then valid := false;
+            if bound > !worst_bound then worst_bound := bound;
+            if List.length sp.Separator.s1 > !max_s1 then max_s1 := List.length sp.Separator.s1;
+            if List.length sp.Separator.s2 > !max_s2 then max_s2 := List.length sp.Separator.s2;
+            if Separator.verify_split ws piece sp <> Ok () then valid := false
+          done;
+          Tab.add_row t
+            [
+              name;
+              string_of_int n;
+              string_of_int trials;
+              string_of_int !max_err;
+              string_of_int !worst_bound;
+              string_of_int !max_s1;
+              string_of_int !max_s2;
+              string_of_bool !valid;
+            ])
+        [ 100; 1000; 8000 ])
+    families;
+  emit t
+
+let l1_lemma1 () =
+  lemma_table
+    ~title:"L1  Lemma 1 splits (paper: |n2-A| <= (A+1)/3, |s1| <= 4, |s2| <= 2)"
+    ~lemma:Separator.lemma1
+    ~bound_of:(fun target -> (target + 1) / 3)
+    ~max_target:(fun n -> max 1 ((3 * n / 4) - 1))
+    ()
+
+let l2_lemma2 () =
+  lemma_table
+    ~title:"L2  Lemma 2 splits (paper: |n2-A| <= (A+4)/9, |s1|,|s2| <= 4)"
+    ~lemma:Separator.lemma2
+    ~bound_of:(fun target -> (target + 4) / 9)
+    ~max_target:(fun n -> n)
+    ()
+
+(* ------------------------------------------------------------------ *)
+
+let e1_theorem1 () =
+  let t =
+    Tab.create
+      ~title:"E1  Theorem 1: arbitrary trees into the optimal X-tree (paper: dilation 3, load 16)"
+      [ "family"; "r"; "n"; "dilation"; "avg-dil"; "load"; "slots"; "congestion"; "fallbacks" ]
+  in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun r ->
+          let n = Theorem1.optimal_size r in
+          let tree = tree_of name n in
+          let res = Theorem1.embed tree in
+          let dist = Theorem1.distance_oracle res in
+          let rep = Embedding.report ~dist res.Theorem1.embedding in
+          Tab.add_row t
+            [
+              name;
+              string_of_int r;
+              string_of_int n;
+              string_of_int rep.Embedding.dilation;
+              Printf.sprintf "%.2f" rep.Embedding.average_dilation;
+              string_of_int rep.Embedding.load;
+              string_of_int (16 * Xtree.order res.Theorem1.xt);
+              string_of_int rep.Embedding.congestion;
+              string_of_int res.Theorem1.fallbacks;
+            ])
+        [ 3; 5; 7; 9 ])
+    families;
+  emit t
+
+let e2_theorem2 () =
+  let t =
+    Tab.create ~title:"E2  Theorem 2: injective into X(r+4) (paper: dilation <= 11)"
+      [ "family"; "r"; "n"; "dilation"; "injective"; "host" ]
+  in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun r ->
+          let n = Theorem1.optimal_size r in
+          let tree = tree_of name n in
+          let res = Theorem2.embed tree in
+          let d = Embedding.dilation ~dist:(Theorem2.distance_oracle res) res.Theorem2.embedding in
+          Tab.add_row t
+            [
+              name;
+              string_of_int r;
+              string_of_int n;
+              string_of_int d;
+              string_of_bool (Embedding.is_injective res.Theorem2.embedding);
+              Printf.sprintf "X(%d)" res.Theorem2.height;
+            ])
+        [ 3; 5; 7 ])
+    families;
+  emit t
+
+let e3_lemma3 () =
+  let t =
+    Tab.create ~title:"E3  Lemma 3: X(r) -> Q(r+1) (paper: dist <= Delta+1; siblings adjacent)"
+      [ "r"; "vertices"; "siblings adjacent"; "distance bound holds" ]
+  in
+  List.iter
+    (fun r ->
+      Tab.add_row t
+        [
+          string_of_int r;
+          string_of_int ((2 * Bits.pow2 r) - 1);
+          string_of_bool (Hypercube_transfer.siblings_adjacent ~height:r);
+          string_of_bool (Hypercube_transfer.lemma3_distance_bound_holds ~height:r);
+        ])
+    [ 1; 2; 3; 4; 5; 6; 7 ];
+  emit t
+
+let e4_theorem3 () =
+  let t =
+    Tab.create
+      ~title:"E4  Theorem 3: optimal hypercube (paper: load 16 dilation 4; injective dilation 8)"
+      [ "family"; "r"; "n"; "dim"; "dilation"; "load"; "inj-dim"; "inj-dilation" ]
+  in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun r ->
+          let n = Theorem1.optimal_size r in
+          let tree = tree_of name n in
+          let res = Hypercube_transfer.embed tree in
+          let d =
+            Embedding.dilation ~dist:(Hypercube_transfer.distance_oracle res)
+              res.Hypercube_transfer.embedding
+          in
+          let inj = Hypercube_transfer.embed_injective tree in
+          let di =
+            Embedding.dilation ~dist:(Hypercube_transfer.distance_oracle inj)
+              inj.Hypercube_transfer.embedding
+          in
+          Tab.add_row t
+            [
+              name;
+              string_of_int r;
+              string_of_int n;
+              string_of_int res.Hypercube_transfer.dim;
+              string_of_int d;
+              string_of_int (Embedding.load res.Hypercube_transfer.embedding);
+              string_of_int inj.Hypercube_transfer.dim;
+              string_of_int di;
+            ])
+        [ 3; 5; 7 ])
+    families;
+  emit t
+
+let e5_universal () =
+  let t =
+    Tab.create ~title:"E5  Theorem 4: universal graph (paper: degree <= 415, every tree spans)"
+      [ "height"; "n"; "edges"; "max-degree"; "families ok" ]
+  in
+  List.iter
+    (fun h ->
+      let u = Universal.create h in
+      let ok = ref 0 in
+      List.iter
+        (fun name ->
+          let tree = tree_of name (Universal.order u) in
+          match Universal.spanning_tree_of u tree with Ok _ -> incr ok | Error _ -> ())
+        families;
+      Tab.add_row t
+        [
+          string_of_int h;
+          string_of_int (Universal.order u);
+          string_of_int (Graph.m u.Universal.graph);
+          string_of_int (Graph.max_degree u.Universal.graph);
+          Printf.sprintf "%d/%d" !ok (List.length families);
+        ])
+    [ 2; 3; 4; 5 ];
+  emit t
+
+let e6_constant_vs_growing () =
+  let t =
+    Tab.create
+      ~title:"E6  Who wins: Theorem 1 vs baselines (dilation/load; paper: only X-TREE keeps both constant)"
+      [ "family"; "r"; "T1 dil"; "T1 load"; "bisect dil"; "bisect load"; "dfs dil"; "dfs load"; "bfs dil"; "bfs load" ]
+  in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun r ->
+          let n = Theorem1.optimal_size r in
+          let tree = tree_of name n in
+          let t1 = Theorem1.embed tree in
+          let d1 = Embedding.dilation ~dist:(Theorem1.distance_oracle t1) t1.Theorem1.embedding in
+          let rb = Recursive_bisection.embed tree in
+          let dfs = Order_layout.embed ~order:Order_layout.Dfs tree in
+          let bfs = Order_layout.embed ~order:Order_layout.Bfs tree in
+          Tab.add_row t
+            [
+              name;
+              string_of_int r;
+              string_of_int d1;
+              string_of_int (Embedding.load t1.Theorem1.embedding);
+              string_of_int (Embedding.dilation rb.Recursive_bisection.embedding);
+              string_of_int (Embedding.load rb.Recursive_bisection.embedding);
+              string_of_int (Embedding.dilation dfs.Order_layout.embedding);
+              string_of_int (Embedding.load dfs.Order_layout.embedding);
+              string_of_int (Embedding.dilation bfs.Order_layout.embedding);
+              string_of_int (Embedding.load bfs.Order_layout.embedding);
+            ])
+        [ 3; 5; 7; 9 ])
+    [ "path"; "caterpillar"; "uniform"; "random-bst" ];
+  emit t
+
+let e7_simulation () =
+  let t =
+    Tab.create
+      ~title:"E7  Clock-cycle simulation: guest tree vs X-tree host (dilation as cycles)"
+      [ "family"; "workload"; "native"; "x-tree"; "slowdown"; "peak queue" ]
+  in
+  List.iter
+    (fun name ->
+      let n = Theorem1.optimal_size 5 in
+      let tree = tree_of name n in
+      let res = Theorem1.embed tree in
+      List.iter
+        (fun (w : Workload.spec) ->
+          let native = Workload.run_native w tree in
+          let sim, embedded = Workload.run_on w res.Theorem1.embedding in
+          Tab.add_row t
+            [
+              name;
+              w.Workload.name;
+              string_of_int native;
+              string_of_int embedded;
+              Printf.sprintf "%.2fx" (float_of_int embedded /. float_of_int (max 1 native));
+              string_of_int (Sim.max_link_queue sim);
+            ])
+        Workload.workloads)
+    [ "complete"; "caterpillar"; "uniform"; "random-bst" ];
+  emit t
+
+let e7b_host_comparison () =
+  let t =
+    Tab.create
+      ~title:
+        "E7b Host comparison: the same reduction, different hosts/layouts (quality -> cycles)"
+      [ "family"; "host/layout"; "cycles"; "slowdown" ]
+  in
+  List.iter
+    (fun name ->
+      let n = Theorem1.optimal_size 5 in
+      let tree = tree_of name n in
+      let native = Workload.run_native Workload.reduction tree in
+      let add label e =
+        let cycles = Workload.run_embedded Workload.reduction e in
+        Tab.add_row t
+          [
+            name;
+            label;
+            string_of_int cycles;
+            Printf.sprintf "%.2fx" (float_of_int cycles /. float_of_int (max 1 native));
+          ]
+      in
+      Tab.add_row t [ name; "native tree"; string_of_int native; "1.00x" ];
+      let t1 = Theorem1.embed tree in
+      add "X-tree (Theorem 1)" t1.Theorem1.embedding;
+      let t3 = Hypercube_transfer.embed tree in
+      add "hypercube (Theorem 3)" t3.Hypercube_transfer.embedding;
+      let dfs = Order_layout.embed ~order:Order_layout.Dfs tree in
+      add "X-tree (DFS layout)" dfs.Order_layout.embedding;
+      let rb = Recursive_bisection.embed tree in
+      add "X-tree (bisection)" rb.Recursive_bisection.embedding)
+    [ "caterpillar"; "uniform" ];
+  emit t
+
+let e9b_spread () =
+  let t =
+    Tab.create
+      ~title:
+        "E9b Subtree-population spread nh-nl per level after the final round (paper: -> 0 above the last two levels)"
+      [ "family"; "level j"; "nl(j,r)"; "nh(j,r)"; "target n(r-j)" ]
+  in
+  let r = 6 in
+  List.iter
+    (fun name ->
+      let tree = tree_of name (Theorem1.optimal_size r) in
+      let res = Theorem1.embed ~record_trace:true tree in
+      match res.Theorem1.trace with
+      | None -> ()
+      | Some tr ->
+          let last = tr.Theorem1.spreads.(Array.length tr.Theorem1.spreads - 1) in
+          Array.iteri
+            (fun j (lo, hi) ->
+              Tab.add_row t
+                [
+                  name;
+                  string_of_int j;
+                  string_of_int lo;
+                  string_of_int hi;
+                  string_of_int (Theorem1.optimal_size (r - j));
+                ])
+            last)
+    [ "path"; "uniform" ];
+  emit t
+
+let e7c_compute_bound () =
+  let t =
+    Tab.create
+      ~title:
+        "E7c Compute-bound regime (service rate 1/cycle): the load factor becomes the serialisation cost"
+      [ "family"; "workload"; "native (n CPUs)"; "x-tree (n/16 CPUs)"; "slowdown" ]
+  in
+  List.iter
+    (fun name ->
+      let n = Theorem1.optimal_size 4 in
+      let tree = tree_of name n in
+      let res = Theorem1.embed tree in
+      List.iter
+        (fun (w : Workload.spec) ->
+          let native = Workload.run_native ~service_rate:1 w tree in
+          let embedded = Workload.run_embedded ~service_rate:1 w res.Theorem1.embedding in
+          Tab.add_row t
+            [
+              name;
+              w.Workload.name;
+              string_of_int native;
+              string_of_int embedded;
+              Printf.sprintf "%.2fx" (float_of_int embedded /. float_of_int (max 1 native));
+            ])
+        [ Workload.reduction; Workload.broadcast; Workload.permutation ])
+    [ "complete"; "uniform" ];
+  emit t
+
+let e13b_structural_guests () =
+  let t =
+    Tab.create
+      ~title:
+        "E13b Exact optimal dilation, structural guests (BCHLR separation is asymptotic; tiny X-trees already need 2)"
+      [ "guest"; "Q3"; "Q4"; "CCC(3)"; "BF(2)"; "BF(3)"; "grid 4x4" ]
+  in
+  let hosts =
+    [
+      Hypercube.graph (Hypercube.create ~dim:3);
+      Hypercube.graph (Hypercube.create ~dim:4);
+      Ccc.graph (Ccc.create ~dim:3);
+      Butterfly.graph (Butterfly.create ~dim:2);
+      Butterfly.graph (Butterfly.create ~dim:3);
+      Grid.graph (Grid.create ~rows:4 ~cols:4);
+    ]
+  in
+  let probe name guest =
+    let cells =
+      List.map
+        (fun host ->
+          match Exact.optimal_dilation_graph ~max_dilation:5 ~guest ~host () with
+          | Some d -> string_of_int d
+          | None -> "-")
+        hosts
+    in
+    Tab.add_row t (name :: cells)
+  in
+  probe "X(1) (3)" (Xtree.graph (Xtree.create ~height:1));
+  probe "X(2) (7)" (Xtree.graph (Xtree.create ~height:2));
+  probe "X(3) (15)" (Xtree.graph (Xtree.create ~height:3));
+  probe "grid 2x4 (8)" (Grid.graph (Grid.create ~rows:2 ~cols:4));
+  probe "grid 3x3 (9)" (Grid.graph (Grid.create ~rows:3 ~cols:3));
+  emit t
+
+let e14_seed_robustness () =
+  let t =
+    Tab.create
+      ~title:"E14 Robustness over 20 random instances per family (Theorem 1 dilation)"
+      [ "family"; "r"; "min dil"; "mean dil"; "max dil"; "max fallbacks" ]
+  in
+  (* cells are independent: fan out over domains *)
+  let cells =
+    List.concat_map
+      (fun name -> List.map (fun r -> (name, r)) [ 4; 6 ])
+      [ "uniform"; "random-bst"; "skewed"; "random-grow" ]
+  in
+  let rows =
+    Parallel.map
+      (fun (name, r) ->
+        let n = Theorem1.optimal_size r in
+        let dils = ref [] and worst_fb = ref 0 in
+        for seed = 1 to 20 do
+          let rng = Rng.make ~seed:(seed * 7919) in
+          let tree = (Gen.family name).generate rng n in
+          let res = Theorem1.embed tree in
+          let d = Embedding.dilation ~dist:Xtree.analytic_distance res.Theorem1.embedding in
+          dils := d :: !dils;
+          if res.Theorem1.fallbacks > !worst_fb then worst_fb := res.Theorem1.fallbacks
+        done;
+        let s = Stats.of_ints (Array.of_list !dils) in
+        [
+          name;
+          string_of_int r;
+          Printf.sprintf "%.0f" s.Stats.min;
+          Printf.sprintf "%.2f" s.Stats.mean;
+          Printf.sprintf "%.0f" s.Stats.max;
+          string_of_int !worst_fb;
+        ])
+      cells
+  in
+  List.iter (Tab.add_row t) rows;
+  emit t
+
+let e18_scaling () =
+  let t =
+    Tab.create
+      ~title:
+        "E18 Scaling: Theorem 1 up to a quarter-million nodes (dilation via the analytic oracle)"
+      [ "r"; "n"; "embed seconds"; "dilation"; "load"; "fallbacks"; "fallback rate" ]
+  in
+  List.iter
+    (fun r ->
+      let n = Theorem1.optimal_size r in
+      let tree = Gen.uniform (Rng.make ~seed:1) n in
+      let t0 = Sys.time () in
+      let res = Theorem1.embed tree in
+      let dt = Sys.time () -. t0 in
+      let d = Embedding.dilation ~dist:Xtree.analytic_distance res.Theorem1.embedding in
+      Tab.add_row t
+        [
+          string_of_int r;
+          string_of_int n;
+          Printf.sprintf "%.2f" dt;
+          string_of_int d;
+          string_of_int (Embedding.load res.Theorem1.embedding);
+          string_of_int res.Theorem1.fallbacks;
+          Printf.sprintf "%.4f%%" (100. *. float_of_int res.Theorem1.fallbacks /. float_of_int n);
+        ])
+    [ 8; 9; 10; 11; 12 ];
+  emit t
+
+let e8_cbt_classics () =
+  let t =
+    Tab.create ~title:"E8  Complete-tree classics (context: identity dil 1; inorder dil 2)"
+      [ "r"; "B_r -> X(r) dilation"; "B_r -> Q(r+1) dilation"; "inorder dist property" ]
+  in
+  List.iter
+    (fun r ->
+      Tab.add_row t
+        [
+          string_of_int r;
+          string_of_int (Embedding.dilation (Cbt_embeddings.cbt_into_xtree r));
+          string_of_int (Embedding.dilation (Cbt_embeddings.inorder_into_hypercube r));
+          string_of_bool (Cbt_embeddings.inorder_distance_bound_holds ~height:(min r 6));
+        ])
+    [ 2; 4; 6; 8 ];
+  emit t
+
+let e9_trace_decay () =
+  let t =
+    Tab.create
+      ~title:"E9  ADJUST convergence: max sibling weight gap per round (paper: Delta(j,i) decays to 0)"
+      [ "family"; "round"; "max gap"; "paper envelope 2^(r+2-i)" ]
+  in
+  let r = 7 in
+  List.iter
+    (fun name ->
+      let tree = tree_of name (Theorem1.optimal_size r) in
+      let res = Theorem1.embed ~record_trace:true tree in
+      match res.Theorem1.trace with
+      | None -> ()
+      | Some tr ->
+          Array.iteri
+            (fun i row ->
+              let worst = Array.fold_left max 0 row in
+              let envelope = if r + 2 - (i + 1) >= 0 then Bits.pow2 (min 20 (r + 2 - (i + 1))) else 1 in
+              Tab.add_row t
+                [ name; string_of_int (i + 1); string_of_int worst; string_of_int envelope ])
+            tr.Theorem1.rounds)
+    [ "path"; "uniform" ];
+  emit t
+
+let e10_conditions () =
+  let t =
+    Tab.create
+      ~title:
+        "E10 Conditions (3') and (4), before and after the repair pass (paper invariants, measured)"
+      [ "family"; "r"; "edges"; "(3') raw"; "(3') repaired"; "dil raw"; "dil repaired"; "(4) violations" ]
+  in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun r ->
+          let tree = tree_of name (Theorem1.optimal_size r) in
+          let res = Theorem1.embed tree in
+          let c = Conditions.check_theorem1 res in
+          let repaired, rep = Repair.improve_theorem1 res in
+          let c' = Conditions.check_theorem1 repaired in
+          Tab.add_row t
+            [
+              name;
+              string_of_int r;
+              string_of_int c.Conditions.edges;
+              string_of_int c.Conditions.cond3_violations;
+              string_of_int c'.Conditions.cond3_violations;
+              string_of_int rep.Repair.dilation_before;
+              string_of_int rep.Repair.dilation_after;
+              string_of_int c.Conditions.cond4_violations;
+            ])
+        [ 3; 5; 7; 9 ])
+    families;
+  emit t
+
+let e12_ablation () =
+  let t =
+    Tab.create
+      ~title:
+        "E12 Ablation: which mechanism buys what (load stays enforced; damage shows in dilation/fallbacks/(3'))"
+      [ "family"; "variant"; "dilation"; "avg-dil"; "fallbacks"; "(3') violations" ]
+  in
+  List.iter
+    (fun name ->
+      let tree = tree_of name (Theorem1.optimal_size 7) in
+      List.iter
+        (fun (vname, options) ->
+          let res = Theorem1.embed ~options tree in
+          let dist = Theorem1.distance_oracle res in
+          let c = Conditions.check_theorem1 res in
+          Tab.add_row t
+            [
+              name;
+              vname;
+              string_of_int (Embedding.dilation ~dist res.Theorem1.embedding);
+              Printf.sprintf "%.2f" (Embedding.average_dilation ~dist res.Theorem1.embedding);
+              string_of_int res.Theorem1.fallbacks;
+              string_of_int c.Conditions.cond3_violations;
+            ])
+        Options.variants)
+    [ "path"; "caterpillar"; "uniform" ];
+  emit t
+
+let e11_online () =
+  let t =
+    Tab.create
+      ~title:
+        "E11 Online growth: incremental placement vs offline rebuild (Theorem 1 is the offline bound)"
+      [ "n"; "incremental dil"; "after rebuild"; "incr host"; "optimal host"; "load" ]
+  in
+  let rng = Rng.make ~seed:424242 in
+  let d = Dynamic.create () in
+  let slots = ref [ Dynamic.root d; Dynamic.root d ] in
+  let grow_one () =
+    let idx = Rng.int rng (List.length !slots) in
+    let parent = List.nth !slots idx in
+    match Dynamic.add_child d ~parent with
+    | v -> slots := v :: v :: List.filteri (fun i _ -> i <> idx) !slots
+    | exception Invalid_argument _ -> slots := List.filteri (fun i _ -> i <> idx) !slots
+  in
+  List.iter
+    (fun checkpoint ->
+      while Dynamic.size d < checkpoint do
+        grow_one ()
+      done;
+      let incr_dil = Dynamic.dilation d in
+      let incr_host = Dynamic.host_height d in
+      let load = Dynamic.load d in
+      (* measure the rebuilt quality on a snapshot without disturbing the
+         online run *)
+      let tree = Dynamic.to_tree d in
+      let res = Theorem1.embed tree in
+      let res, _ = Repair.improve_theorem1 res in
+      let rebuilt = Embedding.dilation ~dist:(Theorem1.distance_oracle res) res.Theorem1.embedding in
+      Tab.add_int_row t (string_of_int checkpoint)
+        [ incr_dil; rebuilt; incr_host; res.Theorem1.height; load ])
+    [ 100; 500; 1000; 2000; 4000; 8000 ];
+  emit t
+
+let e13_exact_optimal () =
+  let t =
+    Tab.create
+      ~title:
+        "E13 Exact optimal dilation on small instances (branch & bound; '-' = does not fit)"
+      [ "guest"; "X(3)"; "CBT(3)"; "Q4"; "CCC(3)"; "BF(3)"; "grid 4x4" ]
+  in
+  let hosts =
+    [
+      Xtree.graph (Xtree.create ~height:3);
+      Cbt.graph (Cbt.create ~height:3);
+      Hypercube.graph (Hypercube.create ~dim:4);
+      Ccc.graph (Ccc.create ~dim:3);
+      Butterfly.graph (Butterfly.create ~dim:3);
+      Grid.graph (Grid.create ~rows:4 ~cols:4);
+    ]
+  in
+  let probe name guest =
+    let cells =
+      List.map
+        (fun host ->
+          match Exact.optimal_dilation ~max_dilation:6 ~guest ~host () with
+          | Some d -> string_of_int d
+          | None -> "-")
+        hosts
+    in
+    Tab.add_row t (name :: cells)
+  in
+  probe "complete B_3 (15)" (Gen.complete 15);
+  probe "path (15)" (Gen.path 15);
+  probe "caterpillar (15)" (Gen.caterpillar 15);
+  probe "fibonacci (12)" (Gen.fibonacci 12);
+  let rng = Rng.make ~seed:7 in
+  probe "uniform (12)" (Gen.uniform rng 12);
+  probe "uniform (14)" (Gen.uniform rng 14);
+  emit t
+
+let e15_exhaustive () =
+  let t =
+    Tab.create
+      ~title:
+        "E15 Exhaustive verification over ALL binary trees of a size (Catalan(n) guests per row)"
+      [ "n"; "capacity"; "host"; "shapes"; "max dilation"; "max load" ]
+  in
+  List.iter
+    (fun (n, capacity) ->
+      let maxdil = ref 0 and maxload = ref 0 and count = ref 0 in
+      let height = ref 0 in
+      Seq.iter
+        (fun tree ->
+          incr count;
+          let res = Theorem1.embed ~capacity tree in
+          height := res.Theorem1.height;
+          let d = Embedding.dilation ~dist:(Theorem1.distance_oracle res) res.Theorem1.embedding in
+          let l = Embedding.load res.Theorem1.embedding in
+          if d > !maxdil then maxdil := d;
+          if l > !maxload then maxload := l)
+        (Enum.all_shapes n);
+      Tab.add_row t
+        [
+          string_of_int n;
+          string_of_int capacity;
+          Printf.sprintf "X(%d)" !height;
+          string_of_int !count;
+          string_of_int !maxdil;
+          string_of_int !maxload;
+        ])
+    [ (6, 2); (7, 1); (9, 2); (10, 4); (11, 16) ];
+  emit t
+
+let e16_congestion_routing () =
+  let t =
+    Tab.create
+      ~title:
+        "E16 Congestion-aware routing vs BFS shortest paths (detour budget 4; host = Theorem 1 X-tree)"
+      [ "family"; "r"; "bfs congestion"; "smart congestion"; "bfs maxlen"; "smart maxlen" ]
+  in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun r ->
+          let tree = tree_of name (Theorem1.optimal_size r) in
+          let res = Theorem1.embed tree in
+          let base = Congestion.baseline res.Theorem1.embedding in
+          let smart = Congestion.route res.Theorem1.embedding in
+          Tab.add_row t
+            [
+              name;
+              string_of_int r;
+              string_of_int base.Congestion.congestion;
+              string_of_int smart.Congestion.congestion;
+              string_of_int base.Congestion.max_route_length;
+              string_of_int smart.Congestion.max_route_length;
+            ])
+        [ 5; 7 ])
+    [ "caterpillar"; "uniform"; "random-bst"; "complete" ];
+  emit t
+
+let e17_analytic_routing () =
+  let t =
+    Tab.create
+      ~title:
+        "E17 Table-free analytic routing on X(r): exactness vs BFS and route quality (exhaustive per height)"
+      [ "r"; "pairs"; "analytic = BFS"; "max ratio"; "routes shortest"; "max route excess" ]
+  in
+  List.iter
+    (fun r ->
+      let xt = Xtree.create ~height:r in
+      let g = Xtree.graph xt in
+      let n = Xtree.order xt in
+      let pairs = ref 0 and exact = ref 0 and max_excess = ref 0 in
+      let max_ratio = ref 1.0 in
+      for a = 0 to n - 1 do
+        let row = Graph.bfs g a in
+        for b = 0 to n - 1 do
+          if a <> b then begin
+            incr pairs;
+            let d = Xtree.analytic_distance a b in
+            if d = row.(b) then incr exact;
+            let ratio = float_of_int d /. float_of_int row.(b) in
+            if ratio > !max_ratio then max_ratio := ratio;
+            let len = List.length (Xtree.route xt ~src:a ~dst:b) - 1 in
+            if len - row.(b) > !max_excess then max_excess := len - row.(b)
+          end
+        done
+      done;
+      Tab.add_row t
+        [
+          string_of_int r;
+          string_of_int !pairs;
+          Printf.sprintf "%d/%d" !exact !pairs;
+          Printf.sprintf "%.2f" !max_ratio;
+          string_of_bool (!max_excess <= 0);
+          string_of_int !max_excess;
+        ])
+    [ 3; 4; 5; 6; 7 ];
+  emit t
+
+let e19_weighted () =
+  let t =
+    Tab.create
+      ~title:
+        "E19 Weighted guests (skewed node costs, budget 128/vertex): weight-aware embed vs weight-blind Theorem 1"
+      [ "family"; "total weight"; "host"; "aware max"; "aware imbalance"; "aware dil"; "blind max" ]
+  in
+  let rng = Rng.make ~seed:555 in
+  List.iter
+    (fun name ->
+      let n = Theorem1.optimal_size 7 in
+      let tree = tree_of name n in
+      let weights =
+        Array.init n (fun _ ->
+            let u = Rng.float rng 1.0 in
+            1 + int_of_float (31.0 *. u *. u *. u))
+      in
+      let res = Weighted.embed ~budget:128 ~weights tree in
+      let blind = Theorem1.embed ~height:res.Weighted.height tree in
+      Tab.add_row t
+        [
+          name;
+          string_of_int res.Weighted.total_weight;
+          Printf.sprintf "X(%d)" res.Weighted.height;
+          string_of_int res.Weighted.max_vertex_weight;
+          Printf.sprintf "%.2f" (Weighted.imbalance res);
+          string_of_int (Embedding.dilation ~dist:Xtree.analytic_distance res.Weighted.embedding);
+          string_of_int (Weighted.evaluate_placement ~weights blind.Theorem1.embedding);
+        ])
+    [ "uniform"; "caterpillar"; "random-bst"; "path" ];
+  emit t
+
+let run_all () =
+  f1_xtree_structure ();
+  print_newline ();
+  f2_neighbourhood ();
+  print_newline ();
+  f3_network_zoo ();
+  print_newline ();
+  l1_lemma1 ();
+  print_newline ();
+  l2_lemma2 ();
+  print_newline ();
+  e1_theorem1 ();
+  print_newline ();
+  e2_theorem2 ();
+  print_newline ();
+  e3_lemma3 ();
+  print_newline ();
+  e4_theorem3 ();
+  print_newline ();
+  e5_universal ();
+  print_newline ();
+  e6_constant_vs_growing ();
+  print_newline ();
+  e7_simulation ();
+  print_newline ();
+  e7b_host_comparison ();
+  print_newline ();
+  e7c_compute_bound ();
+  print_newline ();
+  e8_cbt_classics ();
+  print_newline ();
+  e9_trace_decay ();
+  print_newline ();
+  e9b_spread ();
+  print_newline ();
+  e10_conditions ();
+  print_newline ();
+  e11_online ();
+  print_newline ();
+  e12_ablation ();
+  print_newline ();
+  e13_exact_optimal ();
+  print_newline ();
+  e13b_structural_guests ();
+  print_newline ();
+  e14_seed_robustness ();
+  print_newline ();
+  e15_exhaustive ();
+  print_newline ();
+  e16_congestion_routing ();
+  print_newline ();
+  e17_analytic_routing ();
+  print_newline ();
+  e18_scaling ();
+  print_newline ();
+  e19_weighted ();
+  print_newline ()

@@ -1,0 +1,416 @@
+(* Command-line interface to the X-tree embedding library.
+
+   Subcommands: generate, embed, hypercube, universal, simulate,
+   neighbourhood. Every command is deterministic given --seed. *)
+
+open Cmdliner
+open Xt_prelude
+open Xt_topology
+open Xt_bintree
+open Xt_embedding
+open Xt_core
+open Xt_baseline
+open Xt_netsim
+
+(* ---------------- shared arguments ---------------- *)
+
+let family_names = List.map (fun (f : Gen.family) -> f.Gen.name) Gen.families
+
+let family_arg =
+  let doc =
+    Printf.sprintf "Guest tree family. One of: %s." (String.concat ", " family_names)
+  in
+  Arg.(value & opt string "uniform" & info [ "f"; "family" ] ~docv:"FAMILY" ~doc)
+
+let size_arg =
+  let doc = "Number of guest tree nodes." in
+  Arg.(value & opt int 240 & info [ "n"; "size" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (all randomness is derived from it)." in
+  Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let capacity_arg =
+  let doc = "Host vertex capacity (the paper's load factor is 16)." in
+  Arg.(value & opt int 16 & info [ "c"; "capacity" ] ~docv:"CAP" ~doc)
+
+let make_tree family size seed =
+  match List.find_opt (fun (f : Gen.family) -> f.Gen.name = family) Gen.families with
+  | None ->
+      Printf.eprintf "unknown family %S; known: %s\n" family (String.concat ", " family_names);
+      exit 2
+  | Some f ->
+      if size <= 0 then begin
+        Printf.eprintf "size must be positive\n";
+        exit 2
+      end;
+      f.Gen.generate (Rng.make ~seed) size
+
+let input_arg =
+  let doc = "Read the guest tree from $(docv) (Codec format) instead of generating one." in
+  Arg.(value & opt (some string) None & info [ "i"; "input" ] ~docv:"FILE" ~doc)
+
+let load_tree family size seed input =
+  match input with
+  | None -> make_tree family size seed
+  | Some file -> (
+      let ic = open_in file in
+      let parsed = Codec.of_channel ic in
+      close_in ic;
+      match parsed with
+      | Ok t -> t
+      | Error msg ->
+          Printf.eprintf "cannot parse %s: %s\n" file msg;
+          exit 2)
+
+(* ---------------- generate ---------------- *)
+
+let generate family size seed output =
+  let t = make_tree family size seed in
+  let s = Bintree.stats t in
+  Printf.printf "family=%s nodes=%d height=%d leaves=%d max-degree=%d\n" family s.Bintree.size
+    s.Bintree.height s.Bintree.leaves s.Bintree.max_degree;
+  (match output with
+  | Some file ->
+      let oc = open_out file in
+      Codec.to_channel oc t;
+      close_out oc;
+      Printf.printf "written to %s\n" file
+  | None -> ());
+  if size <= 64 && output = None then Format.printf "shape: %a@." Bintree.pp t
+
+let output_arg =
+  let doc = "Write the generated tree to $(docv) in the Codec format." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let generate_cmd =
+  let doc = "Generate a guest binary tree and print its statistics." in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(const generate $ family_arg $ size_arg $ seed_arg $ output_arg)
+
+(* ---------------- embed ---------------- *)
+
+type algorithm = Theorem1_alg | Theorem2_alg | Bisection | Dfs | Bfs
+
+let algorithm_conv =
+  let parse = function
+    | "theorem1" | "xtree" -> Ok Theorem1_alg
+    | "theorem2" | "injective" -> Ok Theorem2_alg
+    | "bisection" -> Ok Bisection
+    | "dfs" -> Ok Dfs
+    | "bfs" -> Ok Bfs
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  Arg.conv (parse, fun fmt a ->
+      Format.pp_print_string fmt
+        (match a with
+        | Theorem1_alg -> "theorem1"
+        | Theorem2_alg -> "theorem2"
+        | Bisection -> "bisection"
+        | Dfs -> "dfs"
+        | Bfs -> "bfs"))
+
+let algorithm_arg =
+  let doc = "Embedding algorithm: theorem1, theorem2 (injective), bisection, dfs, bfs." in
+  Arg.(value & opt algorithm_conv Theorem1_alg & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+
+let trace_arg =
+  let doc = "Print the per-round weight-imbalance trace (Theorem 1 only)." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let repair_arg =
+  let doc = "Run the local-search repair pass after Theorem 1." in
+  Arg.(value & flag & info [ "repair" ] ~doc)
+
+let print_report name (e : Embedding.t) dist =
+  let r = Embedding.report ?dist e in
+  Format.printf "%s: %a@." name Embedding.pp_report r
+
+let dot_arg =
+  let doc = "Write a Graphviz rendering of the embedding to $(docv) (Theorem 1 only)." in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+
+let svg_arg =
+  let doc = "Write a self-contained SVG rendering of the embedding to $(docv) (Theorem 1 only)." in
+  Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
+
+let embed_run family size seed capacity algorithm trace repair input dot svg =
+  let t = load_tree family size seed input in
+  match algorithm with
+  | Theorem1_alg ->
+      let res = Theorem1.embed ~capacity ~record_trace:trace t in
+      let res =
+        if repair then begin
+          let res, rep = Repair.improve_theorem1 res in
+          Printf.printf
+            "repair: %d swaps, (3') violations %d -> %d, dilation %d -> %d\n"
+            rep.Repair.swaps rep.Repair.violations_before rep.Repair.violations_after
+            rep.Repair.dilation_before rep.Repair.dilation_after;
+          res
+        end
+        else res
+      in
+      print_report "theorem1" res.Theorem1.embedding (Some (Theorem1.distance_oracle res));
+      Printf.printf "host: X(%d) with %d vertices; fallbacks=%d\n" res.Theorem1.height
+        (Xtree.order res.Theorem1.xt) res.Theorem1.fallbacks;
+      let cond = Conditions.check_theorem1 res in
+      Printf.printf "condition (3'): %d/%d edges ok; max level gap %d\n"
+        (cond.Conditions.edges - cond.Conditions.cond3_violations)
+        cond.Conditions.edges cond.Conditions.max_level_gap;
+      (match dot with
+      | Some file ->
+          let oc = open_out file in
+          output_string oc (Dot.embedding res.Theorem1.xt res.Theorem1.embedding);
+          close_out oc;
+          Printf.printf "graphviz written to %s\n" file
+      | None -> ());
+      (match svg with
+      | Some file ->
+          let oc = open_out file in
+          output_string oc (Svg.embedding res.Theorem1.xt res.Theorem1.embedding);
+          close_out oc;
+          Printf.printf "svg written to %s\n" file
+      | None -> ());
+      (match res.Theorem1.trace with
+      | Some tr ->
+          Array.iteri
+            (fun i row ->
+              Printf.printf "round %2d: %s\n" (i + 1)
+                (String.concat " " (List.map string_of_int (Array.to_list row))))
+            tr.Theorem1.rounds
+      | None -> ())
+  | Theorem2_alg ->
+      let res = Theorem2.embed ~capacity t in
+      print_report "theorem2" res.Theorem2.embedding (Some (Theorem2.distance_oracle res));
+      Printf.printf "host: X(%d)\n" res.Theorem2.height
+  | Bisection ->
+      let res = Recursive_bisection.embed ~capacity t in
+      print_report "bisection" res.Recursive_bisection.embedding None
+  | Dfs ->
+      let res = Order_layout.embed ~capacity ~order:Order_layout.Dfs t in
+      print_report "dfs-layout" res.Order_layout.embedding None
+  | Bfs ->
+      let res = Order_layout.embed ~capacity ~order:Order_layout.Bfs t in
+      print_report "bfs-layout" res.Order_layout.embedding None
+
+let embed_cmd =
+  let doc = "Embed a guest tree into an X-tree and report dilation/load/expansion." in
+  Cmd.v
+    (Cmd.info "embed" ~doc)
+    Term.(
+      const embed_run $ family_arg $ size_arg $ seed_arg $ capacity_arg $ algorithm_arg
+      $ trace_arg $ repair_arg $ input_arg $ dot_arg $ svg_arg)
+
+(* ---------------- hypercube ---------------- *)
+
+let hypercube_run family size seed capacity injective =
+  let t = make_tree family size seed in
+  let res =
+    if injective then Hypercube_transfer.embed_injective ~capacity t
+    else Hypercube_transfer.embed ~capacity t
+  in
+  print_report
+    (if injective then "theorem3-injective" else "theorem3")
+    res.Hypercube_transfer.embedding
+    (Some (Hypercube_transfer.distance_oracle res));
+  Printf.printf "host: Q_%d with %d vertices\n" res.Hypercube_transfer.dim
+    (Hypercube.order res.Hypercube_transfer.cube)
+
+let injective_arg =
+  let doc = "Use the injective corollary (4 extra dimensions, dilation <= 8)." in
+  Arg.(value & flag & info [ "injective" ] ~doc)
+
+let hypercube_cmd =
+  let doc = "Embed a guest tree into a hypercube via Theorem 3 / Lemma 3." in
+  Cmd.v
+    (Cmd.info "hypercube" ~doc)
+    Term.(const hypercube_run $ family_arg $ size_arg $ seed_arg $ capacity_arg $ injective_arg)
+
+(* ---------------- universal ---------------- *)
+
+let height_arg =
+  let doc = "X-tree height for the universal graph." in
+  Arg.(value & opt int 3 & info [ "height" ] ~docv:"H" ~doc)
+
+let universal_run height family seed =
+  let u = Universal.create height in
+  Printf.printf "universal graph: n=%d edges=%d max-degree=%d (paper bound %d)\n"
+    (Universal.order u)
+    (Graph.m u.Universal.graph)
+    (Graph.max_degree u.Universal.graph)
+    Universal.degree_bound;
+  let t = make_tree family (Universal.order u) seed in
+  match Universal.spanning_tree_of u t with
+  | Ok _ -> Printf.printf "%s tree with %d nodes: realised as a spanning tree\n" family (Universal.order u)
+  | Error msg -> Printf.printf "%s tree: FAILED (%s)\n" family msg
+
+let universal_cmd =
+  let doc = "Build the Theorem 4 universal graph and check a spanning tree." in
+  Cmd.v (Cmd.info "universal" ~doc) Term.(const universal_run $ height_arg $ family_arg $ seed_arg)
+
+(* ---------------- simulate ---------------- *)
+
+let workload_arg =
+  let names = List.map (fun (w : Workload.spec) -> w.Workload.name) Workload.workloads in
+  let doc = Printf.sprintf "Workload: %s." (String.concat ", " names) in
+  Arg.(value & opt string "reduction" & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc)
+
+let simulate_run family size seed workload =
+  match List.find_opt (fun (w : Workload.spec) -> w.Workload.name = workload) Workload.workloads with
+  | None ->
+      Printf.eprintf "unknown workload %S\n" workload;
+      exit 2
+  | Some w ->
+      let t = make_tree family size seed in
+      let res = Theorem1.embed t in
+      let native = Workload.run_native w t in
+      let embedded = Workload.run_embedded w res.Theorem1.embedding in
+      Printf.printf "%s on %s (n=%d): native=%d cycles, on X(%d)=%d cycles, slowdown %.2fx\n"
+        workload family size native res.Theorem1.height embedded
+        (float_of_int embedded /. float_of_int (max 1 native))
+
+let simulate_cmd =
+  let doc = "Simulate a tree workload natively and on the embedded X-tree network." in
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const simulate_run $ family_arg $ size_arg $ seed_arg $ workload_arg)
+
+(* ---------------- neighbourhood ---------------- *)
+
+let vertex_arg =
+  let doc = "X-tree vertex address as a binary string (or 'e' for the root)." in
+  Arg.(value & opt string "e" & info [ "v"; "vertex" ] ~docv:"ADDR" ~doc)
+
+let neighbourhood_run height vertex =
+  let xt = Xtree.create ~height in
+  let a = Xtree.of_string vertex in
+  if not (Xtree.mem xt a) then begin
+    Printf.eprintf "vertex %s not in X(%d)\n" vertex height;
+    exit 2
+  end;
+  let n = Xtree.neighbourhood xt a in
+  Printf.printf "N(%s) in X(%d): %d vertices (paper bound: self + %d)\n" vertex height
+    (List.length n) Xtree.neighbourhood_closure_bound;
+  List.iter (fun b -> Printf.printf "  %s\n" (Xtree.to_string b)) n
+
+let neighbourhood_cmd =
+  let doc = "Print the Figure 2 neighbourhood N(a) of an X-tree vertex." in
+  Cmd.v (Cmd.info "neighbourhood" ~doc) Term.(const neighbourhood_run $ height_arg $ vertex_arg)
+
+(* ---------------- exact ---------------- *)
+
+let host_conv =
+  let parse s =
+    let fail () = Error (`Msg (Printf.sprintf "unknown host %S (xtree:H, cbt:H, cube:D, ccc:D, butterfly:D, grid:RxC)" s)) in
+    match String.split_on_char ':' s with
+    | [ "xtree"; h ] -> ( try Ok (Xtree.graph (Xtree.create ~height:(int_of_string h))) with _ -> fail ())
+    | [ "cbt"; h ] -> ( try Ok (Cbt.graph (Cbt.create ~height:(int_of_string h))) with _ -> fail ())
+    | [ "cube"; d ] -> ( try Ok (Hypercube.graph (Hypercube.create ~dim:(int_of_string d))) with _ -> fail ())
+    | [ "ccc"; d ] -> ( try Ok (Ccc.graph (Ccc.create ~dim:(int_of_string d))) with _ -> fail ())
+    | [ "butterfly"; d ] -> ( try Ok (Butterfly.graph (Butterfly.create ~dim:(int_of_string d))) with _ -> fail ())
+    | [ "grid"; rc ] -> (
+        match String.split_on_char 'x' rc with
+        | [ r; c ] -> (
+            try Ok (Grid.graph (Grid.create ~rows:(int_of_string r) ~cols:(int_of_string c)))
+            with _ -> fail ())
+        | _ -> fail ())
+    | _ -> fail ()
+  in
+  Arg.conv (parse, fun fmt _ -> Format.pp_print_string fmt "<host>")
+
+let host_arg =
+  let doc = "Host network: xtree:H, cbt:H, cube:D, ccc:D, butterfly:D or grid:RxC." in
+  Arg.(value & opt host_conv (Xtree.graph (Xtree.create ~height:3)) & info [ "host" ] ~docv:"HOST" ~doc)
+
+let max_dilation_arg =
+  let doc = "Give up beyond this dilation." in
+  Arg.(value & opt int 6 & info [ "max-dilation" ] ~docv:"D" ~doc)
+
+let exact_run family size seed host max_dilation =
+  let t = make_tree family size seed in
+  if size > 15 then
+    Printf.eprintf "warning: branch and bound is exponential; %d nodes may take very long\n" size;
+  match Exact.optimal_dilation ~max_dilation ~guest:t ~host () with
+  | Some d -> Printf.printf "optimal injective dilation of %s (n=%d): %d\n" family size d
+  | None -> Printf.printf "no injective embedding within dilation %d (or guest too large)\n" max_dilation
+
+let exact_cmd =
+  let doc = "Exact minimum-dilation embedding of a small tree (branch & bound)." in
+  Cmd.v
+    (Cmd.info "exact" ~doc)
+    Term.(const exact_run $ family_arg $ Arg.(value & opt int 12 & info [ "n"; "size" ] ~docv:"N" ~doc:"Guest size (keep small).") $ seed_arg $ host_arg $ max_dilation_arg)
+
+(* ---------------- route ---------------- *)
+
+let route_run height src dst =
+  let xt = Xtree.create ~height in
+  let a = Xtree.of_string src and b = Xtree.of_string dst in
+  if not (Xtree.mem xt a && Xtree.mem xt b) then begin
+    Printf.eprintf "vertices not in X(%d)\n" height;
+    exit 2
+  end;
+  Printf.printf "analytic distance: %d (BFS: %d)\n" (Xtree.analytic_distance a b) (Xtree.distance xt a b);
+  if a <> b then begin
+    let path = Xtree.route xt ~src:a ~dst:b in
+    Printf.printf "route: %s\n" (String.concat " -> " (List.map Xtree.to_string path))
+  end
+
+let src_arg = Arg.(value & opt string "e" & info [ "from" ] ~docv:"ADDR" ~doc:"Source address.")
+let dst_arg = Arg.(value & opt string "e" & info [ "to" ] ~docv:"ADDR" ~doc:"Destination address.")
+
+let route_cmd =
+  let doc = "Table-free greedy routing between two X-tree addresses." in
+  Cmd.v (Cmd.info "route" ~doc) Term.(const route_run $ height_arg $ src_arg $ dst_arg)
+
+(* ---------------- weighted ---------------- *)
+
+let budget_arg =
+  let doc = "Weight budget per host vertex." in
+  Arg.(value & opt int 128 & info [ "budget" ] ~docv:"W" ~doc)
+
+let max_weight_arg =
+  let doc = "Node weights are drawn skewed from 1..$(docv)." in
+  Arg.(value & opt int 32 & info [ "max-weight" ] ~docv:"W" ~doc)
+
+let weighted_run family size seed budget max_weight =
+  let t = make_tree family size seed in
+  let rng = Rng.make ~seed:(seed + 1) in
+  let weights =
+    Array.init size (fun _ ->
+        let u = Rng.float rng 1.0 in
+        1 + int_of_float (float_of_int (max_weight - 1) *. u *. u *. u))
+  in
+  let res = Weighted.embed ~budget ~weights t in
+  let dil = Embedding.dilation ~dist:Xtree.analytic_distance res.Weighted.embedding in
+  Printf.printf
+    "weighted: total=%d host=X(%d) budget=%d max-vertex=%d imbalance=%.2f dilation=%d\n"
+    res.Weighted.total_weight res.Weighted.height budget res.Weighted.max_vertex_weight
+    (Weighted.imbalance res) dil;
+  let blind = Theorem1.embed ~height:res.Weighted.height t in
+  Printf.printf "weight-blind theorem1 on the same host: max-vertex=%d\n"
+    (Weighted.evaluate_placement ~weights blind.Theorem1.embedding)
+
+let weighted_cmd =
+  let doc = "Weight-aware embedding of a tree with heterogeneous node costs." in
+  Cmd.v
+    (Cmd.info "weighted" ~doc)
+    Term.(const weighted_run $ family_arg $ size_arg $ seed_arg $ budget_arg $ max_weight_arg)
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let doc = "Simulating binary trees on X-trees (Monien, SPAA 1991)" in
+  let info = Cmd.info "xtree" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd;
+            embed_cmd;
+            hypercube_cmd;
+            universal_cmd;
+            simulate_cmd;
+            neighbourhood_cmd;
+            exact_cmd;
+            route_cmd;
+            weighted_cmd;
+          ]))

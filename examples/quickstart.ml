@@ -1,0 +1,39 @@
+(* Quickstart: embed an arbitrary binary tree into its optimal X-tree.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Xt_bintree
+open Xt_core
+open Xt_embedding
+
+let () =
+  (* 1. A guest: a uniformly random binary tree with the paper's exact
+     size for height 5, n = 16·(2^6 - 1) = 1008. *)
+  let rng = Xt_prelude.Rng.make ~seed:2026 in
+  let n = Theorem1.optimal_size 5 in
+  let tree = Gen.uniform rng n in
+  let s = Bintree.stats tree in
+  Printf.printf "guest: %d nodes, height %d, %d leaves\n" s.Bintree.size s.Bintree.height
+    s.Bintree.leaves;
+
+  (* 2. Embed it with the paper's algorithm (Theorem 1). *)
+  let res = Theorem1.embed tree in
+  Printf.printf "host: X(%d) with %d vertices of capacity 16\n" res.Theorem1.height
+    (Xt_topology.Xtree.order res.Theorem1.xt);
+
+  (* 3. Inspect the quality: the paper proves dilation 3 and load 16. *)
+  let report = Embedding.report ~dist:(Theorem1.distance_oracle res) res.Theorem1.embedding in
+  Format.printf "quality: %a@." Embedding.pp_report report;
+  assert (report.Embedding.load <= 16);
+
+  (* 4. Where did a specific node go? Addresses are binary strings. *)
+  let node = Bintree.root tree in
+  Printf.printf "the guest root lives at X-tree vertex %S\n"
+    (Xt_topology.Xtree.to_string res.Theorem1.embedding.Embedding.place.(node));
+
+  (* 5. The structural invariant behind Theorem 4: images of adjacent
+     guest nodes stay inside the Figure 2 neighbourhood. *)
+  let cond = Conditions.check_theorem1 res in
+  Printf.printf "condition (3'): %d of %d edges inside N(a); max level gap %d\n"
+    (cond.Conditions.edges - cond.Conditions.cond3_violations)
+    cond.Conditions.edges cond.Conditions.max_level_gap

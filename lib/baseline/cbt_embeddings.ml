@@ -1,0 +1,37 @@
+open Xt_prelude
+open Xt_topology
+open Xt_bintree
+open Xt_embedding
+
+(* The complete binary tree with 2^(r+1)-1 nodes as a Bintree, heap
+   ordered, so node ids coincide with X-tree vertex ids. *)
+let cbt_guest r = Gen.complete (Bits.pow2 (r + 1) - 1)
+
+let cbt_into_xtree r =
+  let tree = cbt_guest r in
+  let xt = Xtree.create ~height:r in
+  let place = Array.init (Bintree.n tree) Fun.id in
+  Embedding.make ~tree ~host:(Xtree.graph xt) ~place
+
+let inorder_vertex ~height a =
+  let l = Xtree.level a and k = Xtree.index a in
+  ((k * 2) + 1) * Bits.pow2 (height - l)
+
+let inorder_into_hypercube r =
+  let tree = cbt_guest r in
+  let cube = Hypercube.create ~dim:(r + 1) in
+  let place = Array.init (Bintree.n tree) (fun a -> inorder_vertex ~height:r a) in
+  Embedding.make ~tree ~host:(Hypercube.graph cube) ~place
+
+let inorder_distance_bound_holds ~height =
+  let tree = cbt_guest height in
+  let cbt = Cbt.create ~height in
+  let ok = ref true in
+  let n = Bintree.n tree in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      let dq = Bits.hamming (inorder_vertex ~height a) (inorder_vertex ~height b) in
+      if dq > Cbt.distance cbt a b + 1 then ok := false
+    done
+  done;
+  !ok

@@ -1,0 +1,22 @@
+(** Classical embeddings of the complete binary tree, used by the paper as
+    context (its section 3 recalls both):
+
+    - the identity embedding of [B_r] into [X(r)] (dilation 1 — [B_r] is a
+      subgraph of its X-tree);
+    - the {e inorder} embedding of [B_r] into its optimal hypercube
+      [Q_{r+1}], [δ_io(a) = a·1·0^{r-|a|}], which has dilation 2 and the
+      distance property [dist_Q <= dist_B + 1]. *)
+
+val cbt_into_xtree : int -> Xt_embedding.Embedding.t
+(** [cbt_into_xtree r]: the complete binary tree of height [r] into
+    [X(r)], one node per vertex. Dilation 1, injective. *)
+
+val inorder_into_hypercube : int -> Xt_embedding.Embedding.t
+(** [inorder_into_hypercube r]: [B_r] into [Q_{r+1}] by the inorder map.
+    Dilation 2, injective. *)
+
+val inorder_vertex : height:int -> int -> int
+(** The inorder image [a·1·0^{r-|a|}] of a heap-order CBT node. *)
+
+val inorder_distance_bound_holds : height:int -> bool
+(** Exhaustive check of [dist_Q(δ(a), δ(b)) <= dist_B(a, b) + 1]. *)

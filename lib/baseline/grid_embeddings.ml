@@ -1,0 +1,33 @@
+open Xt_prelude
+open Xt_topology
+
+type t = { grid : Grid.t; cube : Hypercube.t; place : int array }
+
+let bits_for n =
+  let rec go b = if Bits.pow2 b >= n then b else go (b + 1) in
+  go 0
+
+let embed ~rows ~cols =
+  let grid = Grid.create ~rows ~cols in
+  let row_bits = bits_for rows and col_bits = bits_for cols in
+  let cube = Hypercube.create ~dim:(row_bits + col_bits) in
+  let place =
+    Array.init (Grid.order grid) (fun v ->
+        let r = Grid.row grid v and c = Grid.col grid v in
+        (Bits.gray r * Bits.pow2 col_bits) + Bits.gray c)
+  in
+  { grid; cube; place }
+
+let dilation t =
+  let best = ref 0 in
+  Graph.iter_edges (Grid.graph t.grid) (fun u v ->
+      let d = Hypercube.distance t.cube t.place.(u) t.place.(v) in
+      if d > !best then best := d);
+  !best
+
+let is_injective t =
+  let seen = Hashtbl.create (Array.length t.place) in
+  Array.iter (fun p -> Hashtbl.replace seen p ()) t.place;
+  Hashtbl.length seen = Array.length t.place
+
+let expansion t = float_of_int (Hypercube.order t.cube) /. float_of_int (Grid.order t.grid)

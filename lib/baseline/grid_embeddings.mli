@@ -1,0 +1,23 @@
+(** The classical grid-into-hypercube embedding, included because the
+    paper's introduction cites grids (with X-trees) as the graphs that
+    embed efficiently into hypercubes but {e not} into CCCs/butterflies.
+
+    Each grid coordinate is encoded by its binary-reflected Gray code;
+    consecutive coordinates differ in one bit, so every grid edge maps to
+    a hypercube edge: dilation 1, expansion
+    [2^(⌈lg rows⌉+⌈lg cols⌉) / (rows·cols)]. *)
+
+type t = {
+  grid : Xt_topology.Grid.t;
+  cube : Xt_topology.Hypercube.t;
+  place : int array; (** grid vertex -> hypercube label *)
+}
+
+val embed : rows:int -> cols:int -> t
+
+val dilation : t -> int
+(** Always 1 for grids with at least one edge (checked, not assumed). *)
+
+val is_injective : t -> bool
+
+val expansion : t -> float

@@ -1,0 +1,29 @@
+open Xt_topology
+open Xt_bintree
+open Xt_embedding
+open Xt_core
+
+type order = Dfs | Bfs
+
+type result = { embedding : Embedding.t; xt : Xtree.t; height : int }
+
+let bfs_order tree =
+  let queue = Queue.create () in
+  Queue.add (Bintree.root tree) queue;
+  let acc = ref [] in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    acc := v :: !acc;
+    List.iter (fun c -> Queue.add c queue) (Bintree.children tree v)
+  done;
+  List.rev !acc
+
+let embed ?(capacity = 16) ~order tree =
+  let n = Bintree.n tree in
+  let height = Theorem1.height_for ~capacity n in
+  let xt = Xtree.create ~height in
+  let sequence = match order with Dfs -> Bintree.preorder tree | Bfs -> bfs_order tree in
+  let place = Array.make n (-1) in
+  List.iteri (fun i v -> place.(v) <- i / capacity) sequence;
+  let embedding = Embedding.make ~tree ~host:(Xtree.graph xt) ~place in
+  { embedding; xt; height }

@@ -1,0 +1,229 @@
+type node = int
+
+type t = {
+  root : node;
+  parent : int array;
+  left : int array;
+  right : int array;
+}
+
+module Builder = struct
+  type t = {
+    mutable parent : int array;
+    mutable left : int array;
+    mutable right : int array;
+    mutable size : int;
+    mutable has_root : bool;
+  }
+
+  let create ?(capacity = 16) () =
+    let capacity = max capacity 1 in
+    {
+      parent = Array.make capacity (-1);
+      left = Array.make capacity (-1);
+      right = Array.make capacity (-1);
+      size = 0;
+      has_root = false;
+    }
+
+  let grow b =
+    let cap = Array.length b.parent in
+    if b.size >= cap then begin
+      let extend a =
+        let a' = Array.make (2 * cap) (-1) in
+        Array.blit a 0 a' 0 cap;
+        a'
+      in
+      b.parent <- extend b.parent;
+      b.left <- extend b.left;
+      b.right <- extend b.right
+    end
+
+  let fresh b =
+    grow b;
+    let v = b.size in
+    b.size <- v + 1;
+    v
+
+  let add_root b =
+    if b.has_root then invalid_arg "Bintree.Builder.add_root: root exists";
+    b.has_root <- true;
+    fresh b
+
+  let add_left b p =
+    if p < 0 || p >= b.size then invalid_arg "Bintree.Builder.add_left: bad parent";
+    if b.left.(p) >= 0 then invalid_arg "Bintree.Builder.add_left: occupied";
+    let v = fresh b in
+    b.left.(p) <- v;
+    b.parent.(v) <- p;
+    v
+
+  let add_right b p =
+    if p < 0 || p >= b.size then invalid_arg "Bintree.Builder.add_right: bad parent";
+    if b.right.(p) >= 0 then invalid_arg "Bintree.Builder.add_right: occupied";
+    let v = fresh b in
+    b.right.(p) <- v;
+    b.parent.(v) <- p;
+    v
+
+  let size b = b.size
+
+  let finish b =
+    if not b.has_root then invalid_arg "Bintree.Builder.finish: empty";
+    {
+      root = 0;
+      parent = Array.sub b.parent 0 b.size;
+      left = Array.sub b.left 0 b.size;
+      right = Array.sub b.right 0 b.size;
+    }
+end
+
+let n t = Array.length t.parent
+let root t = t.root
+
+let opt v = if v < 0 then None else Some v
+
+let parent t v = opt t.parent.(v)
+let left t v = opt t.left.(v)
+let right t v = opt t.right.(v)
+
+let children t v =
+  match (opt t.left.(v), opt t.right.(v)) with
+  | None, None -> []
+  | Some a, None | None, Some a -> [ a ]
+  | Some a, Some b -> [ a; b ]
+
+let iter_neighbours t v f =
+  if t.parent.(v) >= 0 then f t.parent.(v);
+  if t.left.(v) >= 0 then f t.left.(v);
+  if t.right.(v) >= 0 then f t.right.(v)
+
+let neighbours t v =
+  let acc = ref [] in
+  iter_neighbours t v (fun w -> acc := w :: !acc);
+  List.rev !acc
+
+let degree t v = List.length (neighbours t v)
+
+let edges t =
+  let acc = ref [] in
+  for v = 0 to n t - 1 do
+    if t.left.(v) >= 0 then acc := (v, t.left.(v)) :: !acc;
+    if t.right.(v) >= 0 then acc := (v, t.right.(v)) :: !acc
+  done;
+  !acc
+
+let is_leaf t v = t.left.(v) < 0 && t.right.(v) < 0
+
+(* Iterative preorder: avoids stack overflow on path-shaped trees. *)
+let preorder t =
+  let acc = ref [] in
+  let stack = Stack.create () in
+  Stack.push t.root stack;
+  while not (Stack.is_empty stack) do
+    let v = Stack.pop stack in
+    acc := v :: !acc;
+    (* push right first so left is visited first *)
+    if t.right.(v) >= 0 then Stack.push t.right.(v) stack;
+    if t.left.(v) >= 0 then Stack.push t.left.(v) stack
+  done;
+  List.rev !acc
+
+(* Postorder = reverse of the (root, right, left) preorder. *)
+let postorder t =
+  let acc = ref [] in
+  let stack = Stack.create () in
+  Stack.push t.root stack;
+  while not (Stack.is_empty stack) do
+    let v = Stack.pop stack in
+    acc := v :: !acc;
+    if t.left.(v) >= 0 then Stack.push t.left.(v) stack;
+    if t.right.(v) >= 0 then Stack.push t.right.(v) stack
+  done;
+  !acc
+
+let fold_preorder t ~init ~f = List.fold_left f init (preorder t)
+
+let depth t =
+  let d = Array.make (n t) 0 in
+  List.iter (fun v -> if v <> t.root then d.(v) <- d.(t.parent.(v)) + 1) (preorder t);
+  d
+
+let subtree_sizes t =
+  let s = Array.make (n t) 1 in
+  List.iter (fun v -> if v <> t.root then s.(t.parent.(v)) <- s.(t.parent.(v)) + s.(v)) (postorder t);
+  s
+
+let height t =
+  let d = depth t in
+  Array.fold_left max 0 d
+
+type stats = { size : int; height : int; leaves : int; max_degree : int }
+
+let stats t =
+  let leaves = ref 0 and maxd = ref 0 in
+  for v = 0 to n t - 1 do
+    if is_leaf t v then incr leaves;
+    let d = degree t v in
+    if d > !maxd then maxd := d
+  done;
+  { size = n t; height = height t; leaves = !leaves; max_degree = !maxd }
+
+let check t =
+  let size = n t in
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if size = 0 then fail "empty tree"
+  else if t.root < 0 || t.root >= size then fail "root out of range"
+  else if t.parent.(t.root) >= 0 then fail "root has a parent"
+  else begin
+    let bad = ref None in
+    for v = 0 to size - 1 do
+      let check_child c label =
+        if c >= size then bad := Some (Printf.sprintf "%s child of %d out of range" label v)
+        else if c >= 0 && t.parent.(c) <> v then
+          bad := Some (Printf.sprintf "%s child of %d has wrong parent" label v)
+      in
+      check_child t.left.(v) "left";
+      check_child t.right.(v) "right";
+      if v <> t.root && t.parent.(v) < 0 then bad := Some (Printf.sprintf "node %d has no parent" v);
+      if v <> t.root && t.parent.(v) >= 0 then begin
+        let p = t.parent.(v) in
+        if p >= size then bad := Some (Printf.sprintf "parent of %d out of range" v)
+        else if t.left.(p) <> v && t.right.(p) <> v then
+          bad := Some (Printf.sprintf "node %d not a child of its parent" v)
+      end
+    done;
+    match !bad with
+    | Some msg -> Error msg
+    | None ->
+        (* connectivity: preorder must reach everything *)
+        let seen = Array.make size false in
+        let count = ref 0 in
+        List.iter
+          (fun v ->
+            if not seen.(v) then begin
+              seen.(v) <- true;
+              incr count
+            end)
+          (preorder t);
+        if !count <> size then fail "tree not connected (preorder reached %d of %d)" !count size
+        else Ok ()
+  end
+
+let of_arrays ~root ~parent ~left ~right =
+  let t = { root; parent; left; right } in
+  if Array.length parent <> Array.length left || Array.length left <> Array.length right then
+    invalid_arg "Bintree.of_arrays: array lengths differ";
+  match check t with Ok () -> t | Error msg -> invalid_arg ("Bintree.of_arrays: " ^ msg)
+
+let rec pp_node t fmt v =
+  match (opt t.left.(v), opt t.right.(v)) with
+  | None, None -> Format.fprintf fmt "%d" v
+  | l, r ->
+      let pp_opt fmt = function
+        | None -> Format.fprintf fmt "_"
+        | Some c -> pp_node t fmt c
+      in
+      Format.fprintf fmt "%d(%a,%a)" v pp_opt l pp_opt r
+
+let pp fmt t = pp_node t fmt t.root

@@ -1,0 +1,103 @@
+(* Iterative printer: a worklist of tokens-to-emit or nodes-to-expand. *)
+type job = Emit of char | Expand of int option
+
+let to_buffer buf t =
+  let stack = Stack.create () in
+  Stack.push (Expand (Some (Bintree.root t))) stack;
+  while not (Stack.is_empty stack) do
+    match Stack.pop stack with
+    | Emit c -> Buffer.add_char buf c
+    | Expand None -> Buffer.add_char buf '.'
+    | Expand (Some v) ->
+        Buffer.add_char buf '(';
+        (* push in reverse order of emission *)
+        Stack.push (Emit ')') stack;
+        Stack.push (Expand (Bintree.right t v)) stack;
+        Stack.push (Expand (Bintree.left t v)) stack
+  done
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  to_buffer buf t;
+  Buffer.contents buf
+
+let to_channel oc t = output_string oc (to_string t)
+
+(* Iterative parser. Grammar: node ::= '(' child child ')' ; child ::=
+   '.' | node. The stack holds the chain of open parent nodes together
+   with how many children of each have been completed. *)
+type frame = { id : int; mutable filled : int }
+
+let of_string s =
+  let b = Bintree.Builder.create () in
+  let stack = Stack.create () in
+  let error = ref None in
+  let fail i msg = if !error = None then error := Some (Printf.sprintf "at %d: %s" i msg) in
+  let attach i =
+    (* allocate a node under the current top frame (or as root) *)
+    if Stack.is_empty stack then
+      if Bintree.Builder.size b = 0 then Some (Bintree.Builder.add_root b)
+      else begin
+        fail i "multiple roots";
+        None
+      end
+    else begin
+      let parent = Stack.top stack in
+      match parent.filled with
+      | 0 ->
+          parent.filled <- 1;
+          Some (Bintree.Builder.add_left b parent.id)
+      | 1 ->
+          parent.filled <- 2;
+          Some (Bintree.Builder.add_right b parent.id)
+      | _ ->
+          fail i "node with more than two children";
+          None
+    end
+  in
+  let n = String.length s in
+  let i = ref 0 in
+  let finished = ref false in
+  while !error = None && !i < n do
+    let c = s.[!i] in
+    (match c with
+    | ' ' | '\t' | '\n' | '\r' -> ()
+    | '(' ->
+        if !finished then fail !i "trailing input after complete tree"
+        else begin
+          match attach !i with
+          | Some id -> Stack.push { id; filled = 0 } stack
+          | None -> ()
+        end
+    | '.' ->
+        if !finished then fail !i "trailing input after complete tree"
+        else if Stack.is_empty stack then fail !i "'.' outside any node"
+        else begin
+          let parent = Stack.top stack in
+          if parent.filled >= 2 then fail !i "node with more than two children"
+          else parent.filled <- parent.filled + 1
+        end
+    | ')' ->
+        if Stack.is_empty stack then fail !i "unmatched ')'"
+        else begin
+          let frame = Stack.pop stack in
+          if frame.filled <> 2 then fail !i "node closed with fewer than two child slots"
+          else if Stack.is_empty stack then finished := true
+        end
+    | c -> fail !i (Printf.sprintf "unexpected character %C" c));
+    incr i
+  done;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+      if not !finished then Error "unexpected end of input"
+      else Ok (Bintree.Builder.finish b)
+
+let of_channel ic =
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  of_string (Buffer.contents buf)

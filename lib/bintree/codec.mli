@@ -1,0 +1,20 @@
+(** Textual serialisation of binary trees.
+
+    The format is a preorder parenthesis string: every node is
+    [ '(' left right ')' ] where an absent child is ['.'].
+    A single node is ["(..)"], a root with one left leaf ["((..).)"]. Node
+    ids are re-assigned in preorder on parsing, so the format captures the
+    {e shape} (which is all an embedding cares about).
+
+    Both directions are iterative, so trees of any depth round-trip
+    without stack overflow. *)
+
+val to_string : Bintree.t -> string
+
+val of_string : string -> (Bintree.t, string) result
+(** Parse; returns a descriptive error on malformed input. *)
+
+val to_channel : out_channel -> Bintree.t -> unit
+
+val of_channel : in_channel -> (Bintree.t, string) result
+(** Reads the whole channel (whitespace between tokens is ignored). *)

@@ -1,0 +1,45 @@
+let catalan n =
+  if n < 0 || n > 30 then invalid_arg "Enum.catalan";
+  (* C(0) = 1; C(n+1) = sum C(i)·C(n-i) *)
+  let c = Array.make (n + 1) 0 in
+  c.(0) <- 1;
+  for k = 1 to n do
+    for i = 0 to k - 1 do
+      c.(k) <- c.(k) + (c.(i) * c.(k - 1 - i))
+    done
+  done;
+  c.(n)
+
+(* Shapes as a tiny algebraic type, converted to Bintree at the end. *)
+type shape = { l : shape option; r : shape option }
+
+let rec shapes_of_size n =
+  if n = 0 then Seq.return None
+  else
+    Seq.concat_map
+      (fun i ->
+        Seq.concat_map
+          (fun l -> Seq.map (fun r -> Some { l; r }) (shapes_of_size (n - 1 - i)))
+          (shapes_of_size i))
+      (List.to_seq (List.init n Fun.id))
+
+let to_bintree shape =
+  let b = Bintree.Builder.create () in
+  let root = Bintree.Builder.add_root b in
+  let rec fill node shape =
+    (match shape.l with
+    | Some s -> fill (Bintree.Builder.add_left b node) s
+    | None -> ());
+    match shape.r with
+    | Some s -> fill (Bintree.Builder.add_right b node) s
+    | None -> ()
+  in
+  fill root shape;
+  Bintree.Builder.finish b
+
+let all_shapes n =
+  if n < 1 then invalid_arg "Enum.all_shapes: n must be positive";
+  if n > 18 then invalid_arg "Enum.all_shapes: too many shapes to enumerate";
+  Seq.filter_map (Option.map to_bintree) (shapes_of_size n)
+
+let count_shapes n = Seq.fold_left (fun acc _ -> acc + 1) 0 (all_shapes n)

@@ -1,0 +1,415 @@
+type piece = { nodes : int list; r1 : int; r2 : int option }
+
+type split = { s1 : int list; t1 : int list; s2 : int list; t2 : int list }
+
+let side_sizes sp =
+  (List.length sp.s1 + List.length sp.t1, List.length sp.s2 + List.length sp.t2)
+
+(* Workspace: generation-stamped scratch arrays over the host tree, so that
+   no per-call allocation proportional to the whole tree is needed. *)
+type ws = {
+  tree : Bintree.t;
+  mark : int array;        (* piece membership stamp *)
+  par : int array;         (* parent within the rooted piece *)
+  size : int array;        (* subtree size within the rooted piece *)
+  exq : int array;         (* stamp for exclusion prefix sums *)
+  exval : int array;       (* total excluded size inside T(v) *)
+  anc : int array;         (* stamp for ancestor marking / misc sets *)
+  mutable gen : int;       (* current piece generation *)
+  mutable exgen : int;     (* current exclusion generation *)
+  mutable ancgen : int;    (* current ancestor-set generation *)
+  mutable order : int list; (* preorder of the loaded piece *)
+}
+
+let make_ws tree =
+  let n = Bintree.n tree in
+  {
+    tree;
+    mark = Array.make n 0;
+    par = Array.make n (-1);
+    size = Array.make n 0;
+    exq = Array.make n 0;
+    exval = Array.make n 0;
+    anc = Array.make n 0;
+    gen = 0;
+    exgen = 0;
+    ancgen = 0;
+    order = [];
+  }
+
+let member ws v = ws.mark.(v) = ws.gen
+
+(* Root the piece at [r1]: set membership stamps, [par] orientation and
+   subtree [size]s. Iterative DFS — pieces can be path-shaped. *)
+let load ws nodes r1 =
+  ws.gen <- ws.gen + 1;
+  List.iter (fun v -> ws.mark.(v) <- ws.gen) nodes;
+  if not (member ws r1) then invalid_arg "Separator: designated node not in piece";
+  let stack = Stack.create () in
+  let order = ref [] in
+  ws.par.(r1) <- -1;
+  Stack.push r1 stack;
+  let visited = Hashtbl.create 64 in
+  Hashtbl.replace visited r1 ();
+  while not (Stack.is_empty stack) do
+    let v = Stack.pop stack in
+    order := v :: !order;
+    Bintree.iter_neighbours ws.tree v (fun w ->
+        if member ws w && not (Hashtbl.mem visited w) then begin
+          Hashtbl.replace visited w ();
+          ws.par.(w) <- v;
+          Stack.push w stack
+        end)
+  done;
+  (* order is reverse preorder; compute sizes bottom-up directly on it *)
+  List.iter (fun v -> ws.size.(v) <- 1) !order;
+  List.iter
+    (fun v -> if v <> r1 then ws.size.(ws.par.(v)) <- ws.size.(ws.par.(v)) + ws.size.(v))
+    !order;
+  ws.order <- List.rev !order;
+  List.length !order
+
+let iter_children ws v f =
+  Bintree.iter_neighbours ws.tree v (fun w -> if member ws w && ws.par.(w) = v then f w)
+
+(* Exclusion bookkeeping: effective size of T(v) once some subtrees have
+   been carved out. [exclude] walks the root path adding the carved size. *)
+let reset_exclusions ws = ws.exgen <- ws.exgen + 1
+
+let exclude ws u =
+  let s = ws.size.(u) in
+  let rec up v =
+    if ws.exq.(v) = ws.exgen then ws.exval.(v) <- ws.exval.(v) + s
+    else begin
+      ws.exq.(v) <- ws.exgen;
+      ws.exval.(v) <- s
+    end;
+    if ws.par.(v) >= 0 then up ws.par.(v)
+  in
+  up u
+
+let eff ws v = ws.size.(v) - if ws.exq.(v) = ws.exgen then ws.exval.(v) else 0
+
+(* Procedure find1 of the paper: starting at [start], descend into the
+   child of maximal (effective) cardinality while the current subtree is
+   bigger than 4A/3. Integer form of |T(u)| > 4A/3 is 3|T(u)| > 4A. *)
+let find1 ws start ~target =
+  let rec descend v =
+    if 3 * eff ws v <= 4 * target then v
+    else begin
+      let best = ref (-1) and best_size = ref 0 in
+      iter_children ws v (fun c ->
+          let s = eff ws c in
+          if s > !best_size then begin
+            best := c;
+            best_size := s
+          end);
+      if !best < 0 then v else descend !best
+    end
+  in
+  descend start
+
+(* Collect the nodes of T(u) minus currently excluded subtrees. The
+   excluded subtree roots have effective size 0 and are skipped whole. *)
+let subtree_nodes ws u =
+  let acc = ref [] in
+  let stack = Stack.create () in
+  if eff ws u > 0 then Stack.push u stack;
+  while not (Stack.is_empty stack) do
+    let v = Stack.pop stack in
+    acc := v :: !acc;
+    iter_children ws v (fun c -> if eff ws c > 0 then Stack.push c stack)
+  done;
+  !acc
+
+(* Mark the ancestors (inclusive) of u; returns the marking generation so
+   lca can test membership. *)
+let mark_root_path ws u =
+  ws.ancgen <- ws.ancgen + 1;
+  let rec up v =
+    ws.anc.(v) <- ws.ancgen;
+    if ws.par.(v) >= 0 then up ws.par.(v)
+  in
+  up u
+
+let lca ws u v =
+  mark_root_path ws u;
+  let rec up w = if ws.anc.(w) = ws.ancgen then w else up ws.par.(w) in
+  up v
+
+let in_subtree ws ~root v =
+  (* v ∈ T(root) iff root lies on v's root path *)
+  let rec up w = if w = root then true else if ws.par.(w) >= 0 then up ws.par.(w) else false in
+  up v
+
+let uniq xs = List.sort_uniq compare xs
+
+(* Assemble a split from the laid-out sets and the side-2 node collection.
+   side2 is given stamped via [anc] marking by the caller. *)
+let assemble ws nodes ~s1 ~s2 ~side2_nodes =
+  ws.ancgen <- ws.ancgen + 1;
+  List.iter (fun v -> ws.anc.(v) <- ws.ancgen) side2_nodes;
+  let in2 v = ws.anc.(v) = ws.ancgen in
+  let s1 = uniq s1 and s2 = uniq s2 in
+  let t1 = List.filter (fun v -> (not (in2 v)) && not (List.mem v s1)) nodes in
+  let t2 = List.filter (fun v -> in2 v && not (List.mem v s2)) side2_nodes in
+  { s1; t1; s2; t2 }
+
+let move_all piece =
+  let s2 = uniq (piece.r1 :: Option.to_list piece.r2) in
+  let t2 = List.filter (fun v -> not (List.mem v s2)) piece.nodes in
+  { s1 = []; t1 = []; s2; t2 }
+
+let swap_sides sp = { s1 = sp.s2; t1 = sp.t2; s2 = sp.s1; t2 = sp.t1 }
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Core carve for Lemma 1, assuming the piece is loaded, n > 4A/3. *)
+let carve1 ws piece ~target =
+  let r1 = piece.r1 in
+  let r2 = match piece.r2 with Some r2 when r2 <> r1 -> Some r2 | _ -> None in
+  reset_exclusions ws;
+  let u = find1 ws r1 ~target in
+  if u = r1 then
+    (* No descent possible: piece is a single node or all children empty;
+       degenerate, move everything. *)
+    move_all piece
+  else begin
+    let z = ws.par.(u) in
+    let side2 = subtree_nodes ws u in
+    match r2 with
+    | Some r2 when in_subtree ws ~root:u r2 ->
+        assemble ws piece.nodes ~s1:[ r1; z ] ~s2:[ u; r2 ] ~side2_nodes:side2
+    | Some r2 ->
+        let y = lca ws u r2 in
+        assemble ws piece.nodes ~s1:[ r1; r2; z; y ] ~s2:[ u ] ~side2_nodes:side2
+    | None -> assemble ws piece.nodes ~s1:[ r1; z ] ~s2:[ u ] ~side2_nodes:side2
+  end
+
+let lemma1 ws piece ~target =
+  if target <= 0 then invalid_arg "Separator.lemma1: target must be positive";
+  let n = load ws piece.nodes piece.r1 in
+  (match piece.r2 with
+  | Some r2 when not (member ws r2) -> invalid_arg "Separator.lemma1: r2 not in piece"
+  | _ -> ());
+  if target >= n then move_all piece
+  else if 3 * n > 4 * target then carve1 ws piece ~target
+  else
+    (* Precondition violated (target >= 3n/4): carve the complement and
+       swap sides afterwards. *)
+    swap_sides (carve1 ws piece ~target:(n - target))
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Two-stage carve: take T(u1) aiming at [target], then correct the error
+   with a second find1 — either carving the overshoot back out of T(u1),
+   or carving a second subtree next to it. [from_] is the descent start
+   (r2 in case 1, x in case 2); [keep] are nodes that must not be swallowed
+   (the carve is abandoned rather than including them).
+   Returns (s1_extra, s2, side2_nodes). *)
+let two_stage_carve ws ~from_ ~target =
+  let u1 = find1 ws from_ ~target in
+  if u1 = from_ then None
+  else begin
+    let z1 = ws.par.(u1) in
+    let e = eff ws u1 - target in
+    if e > 0 then begin
+      (* carve the overshoot back out of T(u1) *)
+      let u2 = find1 ws u1 ~target:e in
+      if u2 = u1 then
+        (* cannot correct; accept the coarse carve *)
+        Some ([ z1 ], [ u1 ], subtree_nodes ws u1)
+      else begin
+        let p2 = ws.par.(u2) in
+        exclude ws u2;
+        let side2 = subtree_nodes ws u1 in
+        Some ([ z1; u2 ], [ u1; p2 ], side2)
+      end
+    end
+    else if e < 0 then begin
+      (* Add a second subtree next to T(u1). The second descent starts at
+         z1 (not at [from_]): this keeps z2 strictly below z1, so every
+         component of side 1 touches at most two separator nodes. The
+         descent always makes progress: eff(z1) > 4(-e)/3 follows from the
+         first descent's invariant |T(z1)| > 4A/3. *)
+      let side2a = subtree_nodes ws u1 in
+      exclude ws u1;
+      let u2 = find1 ws z1 ~target:(-e) in
+      if u2 = z1 || eff ws u2 <= 0 then Some ([ z1 ], [ u1 ], side2a)
+      else begin
+        let z2 = ws.par.(u2) in
+        let side2b = subtree_nodes ws u2 in
+        Some ([ z1; z2 ], [ u1; u2 ], side2a @ side2b)
+      end
+    end
+    else Some ([ z1 ], [ u1 ], subtree_nodes ws u1)
+  end
+
+let carve2 ws piece ~target =
+  let r1 = piece.r1 in
+  let r2 = match piece.r2 with Some r2 when r2 <> r1 -> r2 | _ -> r1 in
+  reset_exclusions ws;
+  (* procedure find2: walk from r1 towards r2 while |T(v)| > 4A/3 *)
+  let path =
+    (* nodes from r1 to r2 in order *)
+    let rec up acc v = if v = r1 then v :: acc else up (v :: acc) ws.par.(v) in
+    up [] r2
+  in
+  let rec walk = function
+    | [] -> r2
+    | [ v ] -> v
+    | v :: rest -> if 3 * ws.size.(v) > 4 * target && v <> r2 then walk rest else v
+  in
+  let v = walk path in
+  if v = r2 && 3 * ws.size.(v) > 4 * target then begin
+    (* Case 1: both designated nodes stay in S1; carve inside T(r2). *)
+    match two_stage_carve ws ~from_:r2 ~target with
+    | Some (s1x, s2, side2) ->
+        assemble ws piece.nodes ~s1:(r1 :: r2 :: s1x) ~s2 ~side2_nodes:side2
+    | None -> move_all piece
+  end
+  else if ws.size.(v) < target then begin
+    (* Case 2: T(v) (containing r2) moves entirely; top up from T(x,v). *)
+    let x = ws.par.(v) in
+    if x < 0 then move_all piece
+    else begin
+      let a2 = target - ws.size.(v) in
+      let side2v = subtree_nodes ws v in
+      exclude ws v;
+      match two_stage_carve ws ~from_:x ~target:a2 with
+      | Some (s1x, s2x, side2c) ->
+          assemble ws piece.nodes ~s1:(r1 :: x :: s1x) ~s2:(r2 :: v :: s2x)
+            ~side2_nodes:(side2v @ side2c)
+      | None ->
+          assemble ws piece.nodes ~s1:[ r1; x ] ~s2:[ r2; v ] ~side2_nodes:side2v
+    end
+  end
+  else begin
+    (* Case 3: A <= |T(v)| <= 4A/3. Carve |T(v)| - A nodes out of T(v)
+       with Lemma 1 (designated v and r2); the carved part stays on
+       side 1, the rest of T(v) moves. *)
+    let x = ws.par.(v) in
+    if x < 0 then move_all piece
+    else begin
+      let a' = ws.size.(v) - target in
+      if a' = 0 then
+        assemble ws piece.nodes ~s1:[ r1; x ] ~s2:[ r2; v ] ~side2_nodes:(subtree_nodes ws v)
+      else begin
+        let u' = find1 ws v ~target:a' in
+        if u' = v then
+          assemble ws piece.nodes ~s1:[ r1; x ] ~s2:[ r2; v ]
+            ~side2_nodes:(subtree_nodes ws v)
+        else begin
+          let z' = ws.par.(u') in
+          (* side 2 = T(v) minus T(u') *)
+          exclude ws u';
+          let side2 = subtree_nodes ws v in
+          if in_subtree ws ~root:u' r2 then
+            (* r2 is inside the carved part: it stays on side 1 *)
+            assemble ws piece.nodes ~s1:(r1 :: x :: [ u'; r2 ]) ~s2:[ v; z' ]
+              ~side2_nodes:side2
+          else begin
+            let y' = lca ws u' r2 in
+            assemble ws piece.nodes ~s1:[ r1; x; u' ] ~s2:[ v; z'; r2; y' ]
+              ~side2_nodes:side2
+          end
+        end
+      end
+    end
+  end
+
+let lemma2 ws piece ~target =
+  if target <= 0 then invalid_arg "Separator.lemma2: target must be positive";
+  let n = load ws piece.nodes piece.r1 in
+  (match piece.r2 with
+  | Some r2 when not (member ws r2) -> invalid_arg "Separator.lemma2: r2 not in piece"
+  | _ -> ());
+  if target >= n then move_all piece
+  else if 3 * n > 4 * target then carve2 ws piece ~target
+  else swap_sides (carve2 ws piece ~target:(n - target))
+
+(* ------------------------------------------------------------------ *)
+(* Components and verification                                         *)
+(* ------------------------------------------------------------------ *)
+
+let components ws ~nodes ~removed =
+  ws.gen <- ws.gen + 1;
+  List.iter (fun v -> ws.mark.(v) <- ws.gen) nodes;
+  List.iter (fun v -> ws.mark.(v) <- ws.gen - 1) removed;
+  let seen = Hashtbl.create 64 in
+  let comps = ref [] in
+  List.iter
+    (fun v ->
+      if member ws v && not (Hashtbl.mem seen v) then begin
+        let comp = ref [] in
+        let stack = Stack.create () in
+        Stack.push v stack;
+        Hashtbl.replace seen v ();
+        while not (Stack.is_empty stack) do
+          let u = Stack.pop stack in
+          comp := u :: !comp;
+          Bintree.iter_neighbours ws.tree u (fun w ->
+              if member ws w && not (Hashtbl.mem seen w) then begin
+                Hashtbl.replace seen w ();
+                Stack.push w stack
+              end)
+        done;
+        comps := !comp :: !comps
+      end)
+    nodes;
+  !comps
+
+let verify_split ws piece sp =
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let all = sp.s1 @ sp.t1 @ sp.s2 @ sp.t2 in
+  let sorted xs = List.sort compare xs in
+  if sorted all <> sorted piece.nodes then fail "split is not a partition of the piece"
+  else begin
+    let designated = piece.r1 :: Option.to_list piece.r2 in
+    let laid = sp.s1 @ sp.s2 in
+    if not (List.for_all (fun r -> List.mem r laid) designated) then
+      fail "designated node not laid out"
+    else begin
+      (* side and laid-set lookup *)
+      let side = Hashtbl.create 64 in
+      List.iter (fun v -> Hashtbl.replace side v (1, false)) sp.t1;
+      List.iter (fun v -> Hashtbl.replace side v (1, true)) sp.s1;
+      List.iter (fun v -> Hashtbl.replace side v (2, false)) sp.t2;
+      List.iter (fun v -> Hashtbl.replace side v (2, true)) sp.s2;
+      let bad = ref None in
+      List.iter
+        (fun v ->
+          let sv, lv = Hashtbl.find side v in
+          Bintree.iter_neighbours ws.tree v (fun w ->
+              match Hashtbl.find_opt side w with
+              | None -> () (* edge leaving the piece *)
+              | Some (sw, lw) ->
+                  if sv <> sw && not (lv && lw) then
+                    bad := Some (Printf.sprintf "cut edge %d-%d not between s1 and s2" v w)))
+        piece.nodes;
+      match !bad with
+      | Some msg -> Error msg
+      | None ->
+          (* collinearity of each side *)
+          let collinear t_side s_side =
+            let comps = components ws ~nodes:(t_side @ s_side) ~removed:s_side in
+            List.for_all
+              (fun comp ->
+                let edges = ref 0 in
+                List.iter
+                  (fun v ->
+                    Bintree.iter_neighbours ws.tree v (fun w ->
+                        if List.mem w s_side then incr edges))
+                  comp;
+                !edges <= 2)
+              comps
+          in
+          if not (collinear sp.t1 sp.s1) then fail "side 1 not collinear"
+          else if not (collinear sp.t2 sp.s2) then fail "side 2 not collinear"
+          else Ok ()
+    end
+  end

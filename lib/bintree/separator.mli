@@ -1,0 +1,64 @@
+(** Tree-separator machinery: Lemma 1 and Lemma 2 of the paper.
+
+    Both lemmas take a {e piece} — a connected subtree of a host binary
+    tree, listed by its nodes, with one or two {e designated} nodes — and a
+    target size [A], and split the piece into
+
+    - side 1 of roughly [|piece| - A] nodes, containing the laid-out set
+      [s1], and
+    - side 2 of roughly [A] nodes, containing the laid-out set [s2],
+
+    such that every edge between the two sides joins a node of [s1] with a
+    node of [s2], both designated nodes land in [s1 ∪ s2], and each side is
+    {e collinear}: every component of [t_i = side_i - s_i] is joined to
+    [s_i] by at most two edges.
+
+    Guarantees under the paper's preconditions (piece size [n > 4A/3] for
+    Lemma 1, [1 <= A <= n] for Lemma 2, designated nodes with at most two
+    neighbours inside the piece):
+
+    - Lemma 1: [|side2| - A| <= (A+1)/3], [|s1| <= 4], [|s2| <= 2];
+    - Lemma 2: [|side2| - A| <= (A+4)/9], [|s1|, |s2| <= 4].
+
+    Out-of-precondition calls degrade gracefully (larger error, never an
+    exception) — see the per-function notes. *)
+
+type piece = {
+  nodes : int list;      (** Nodes of the piece; must be connected in the tree. *)
+  r1 : int;              (** First designated node; must occur in [nodes]. *)
+  r2 : int option;       (** Optional second designated node. *)
+}
+
+type split = {
+  s1 : int list;  (** Laid out on side 1; at most 4 nodes. *)
+  t1 : int list;  (** Remaining nodes of side 1. *)
+  s2 : int list;  (** Laid out on side 2; at most 4 nodes (2 for Lemma 1). *)
+  t2 : int list;  (** Remaining nodes of side 2. *)
+}
+
+val side_sizes : split -> int * int
+(** [(|s1|+|t1|, |s2|+|t2|)]. *)
+
+type ws
+(** A reusable workspace holding scratch arrays sized to one tree. Not
+    thread-safe; create one per embedding run. *)
+
+val make_ws : Bintree.t -> ws
+
+val lemma1 : ws -> piece -> target:int -> split
+(** Lemma 1 split with side 2 aiming at [target] nodes. Raises
+    [Invalid_argument] if [target <= 0] or a designated node is missing
+    from [nodes]. If [target >= |piece|] the whole piece becomes side 2. *)
+
+val lemma2 : ws -> piece -> target:int -> split
+(** Lemma 2 split: same contract, tighter size error, both laid-out sets
+    bounded by 4. *)
+
+val components : ws -> nodes:int list -> removed:int list -> int list list
+(** Connected components (in the underlying tree) of [nodes] minus
+    [removed]. Used to re-form pieces after a split's [s1]/[s2] have been
+    laid out. *)
+
+val verify_split : ws -> piece -> split -> (unit, string) result
+(** Structural check used by the test suite: partition, designated-node
+    coverage, cut-edge discipline, and collinearity of both sides. *)

@@ -1,0 +1,22 @@
+(** Checkers for the structural conditions (3′) and (4) of the paper's
+    Theorem 1 proof, measured on a finished embedding.
+
+    Condition (3′): for every guest edge [{u, v}] with [|δ(u)| <= |δ(v)|],
+    the image [δ(v)] lies in the neighbourhood [N(δ(u))] of Figure 2.
+    Condition (4): the levels of the two images differ by at most 2.
+
+    The implementation enforces neither (it enforces the load bound and
+    measures dilation instead), so these reports quantify how closely a
+    run tracks the paper's invariants; (3′) also certifies membership of
+    the guest in the Theorem 4 universal graph. *)
+
+type report = {
+  edges : int;
+  cond3_violations : int;  (** Guest edges with [δ(v) ∉ N(δ(u))]. *)
+  cond4_violations : int;  (** Guest edges with level gap > 2. *)
+  max_level_gap : int;
+}
+
+val check : Xt_topology.Xtree.t -> Xt_embedding.Embedding.t -> report
+
+val check_theorem1 : Theorem1.result -> report

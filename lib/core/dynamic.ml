@@ -1,0 +1,127 @@
+open Xt_topology
+open Xt_bintree
+open Xt_embedding
+
+type t = {
+  capacity : int;
+  (* growable guest arrays *)
+  mutable parent : int array;
+  mutable left : int array;
+  mutable right : int array;
+  mutable placement : int array;
+  mutable size : int;
+  (* host *)
+  mutable xt : Xtree.t;
+  mutable occ : int array;
+}
+
+let grow_guest d =
+  let cap = Array.length d.parent in
+  if d.size >= cap then begin
+    let extend a =
+      let a' = Array.make (2 * cap) (-1) in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    d.parent <- extend d.parent;
+    d.left <- extend d.left;
+    d.right <- extend d.right;
+    d.placement <- extend d.placement
+  end
+
+let create ?(capacity = 16) () =
+  if capacity <= 0 then invalid_arg "Dynamic.create";
+  let xt = Xtree.create ~height:0 in
+  let d =
+    {
+      capacity;
+      parent = Array.make 16 (-1);
+      left = Array.make 16 (-1);
+      right = Array.make 16 (-1);
+      placement = Array.make 16 (-1);
+      size = 1;
+      xt;
+      occ = Array.make 1 0;
+    }
+  in
+  d.placement.(0) <- Xtree.root;
+  d.occ.(Xtree.root) <- 1;
+  d
+
+let size d = d.size
+let root _ = 0
+let host_height d = Xtree.height d.xt
+
+let place d v =
+  if v < 0 || v >= d.size then invalid_arg "Dynamic.place";
+  d.placement.(v)
+
+let total_free d = (d.capacity * Xtree.order d.xt) - d.size
+
+let grow_host d =
+  (* Heap ids are stable, so occupancy just extends with zeros. *)
+  let xt = Xtree.create ~height:(Xtree.height d.xt + 1) in
+  let occ = Array.make (Xtree.order xt) 0 in
+  Array.blit d.occ 0 occ 0 (Array.length d.occ);
+  d.xt <- xt;
+  d.occ <- occ
+
+let nearest_free d from_ =
+  let g = Xtree.graph d.xt in
+  let seen = Array.make (Graph.n g) false in
+  let queue = Queue.create () in
+  Queue.add from_ queue;
+  seen.(from_) <- true;
+  let found = ref (-1) in
+  while !found < 0 && not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    if d.occ.(v) < d.capacity then found := v
+    else
+      Graph.iter_neighbours g v (fun w ->
+          if not seen.(w) then begin
+            seen.(w) <- true;
+            Queue.add w queue
+          end)
+  done;
+  !found
+
+let add_child d ~parent =
+  if parent < 0 || parent >= d.size then invalid_arg "Dynamic.add_child: no such parent";
+  if d.left.(parent) >= 0 && d.right.(parent) >= 0 then
+    invalid_arg "Dynamic.add_child: parent full";
+  if total_free d = 0 then grow_host d;
+  grow_guest d;
+  let v = d.size in
+  d.size <- v + 1;
+  d.parent.(v) <- parent;
+  if d.left.(parent) < 0 then d.left.(parent) <- v else d.right.(parent) <- v;
+  let target = nearest_free d d.placement.(parent) in
+  d.placement.(v) <- target;
+  d.occ.(target) <- d.occ.(target) + 1;
+  v
+
+let to_tree d =
+  Bintree.of_arrays ~root:0
+    ~parent:(Array.sub d.parent 0 d.size)
+    ~left:(Array.sub d.left 0 d.size)
+    ~right:(Array.sub d.right 0 d.size)
+
+let to_embedding d =
+  Embedding.make ~tree:(to_tree d) ~host:(Xtree.graph d.xt)
+    ~place:(Array.sub d.placement 0 d.size)
+
+let load d = Embedding.load (to_embedding d)
+
+let dilation d = Embedding.dilation ~dist:(Xtree.distance d.xt) (to_embedding d)
+
+let rebuild d =
+  let tree = to_tree d in
+  let res = Theorem1.embed ~capacity:d.capacity tree in
+  let res, _ = Repair.improve_theorem1 res in
+  d.xt <- res.Theorem1.xt;
+  d.occ <- Array.make (Xtree.order d.xt) 0;
+  Array.iteri
+    (fun v p ->
+      d.placement.(v) <- p;
+      d.occ.(p) <- d.occ.(p) + 1)
+    res.Theorem1.embedding.Embedding.place

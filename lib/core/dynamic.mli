@@ -1,0 +1,51 @@
+(** Online embedding of a {e growing} binary tree.
+
+    The paper's motivation — binary trees as the shape of running
+    divide-and-conquer programs — is inherently online: the recursion tree
+    unfolds node by node. This module maintains an embedding while the
+    guest grows:
+
+    - a new leaf is placed at its parent's X-tree vertex when a slot is
+      free, otherwise at the nearest vertex with a free slot;
+    - when the host fills up completely its height grows by one (heap
+      vertex ids are stable: [X(r)] is an induced prefix of [X(r+1)]);
+    - quality degrades gradually; {!rebuild} re-runs the offline
+      Theorem 1 algorithm (plus {!Repair}) on the current tree, restoring
+      dilation ~3.
+
+    Benchmark E11 measures the degradation/rebuild trade-off. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh guest consisting of a single root node, placed at the root of
+    [X(0)]. *)
+
+val size : t -> int
+
+val root : t -> int
+
+val add_child : t -> parent:int -> int
+(** Attach a new leaf under [parent] and place it. Returns the new node's
+    id. Raises [Invalid_argument] if [parent] already has two children or
+    does not exist. *)
+
+val host_height : t -> int
+
+val place : t -> int -> int
+(** Current X-tree vertex of a guest node. *)
+
+val load : t -> int
+
+val dilation : t -> int
+(** Maximum host distance over current guest edges (computed on demand). *)
+
+val rebuild : t -> unit
+(** Re-embed the current tree offline (Theorem 1 + repair). Host height is
+    re-chosen to be optimal for the current size. *)
+
+val to_tree : t -> Xt_bintree.Bintree.t
+(** Snapshot of the current guest as an immutable tree (ids preserved). *)
+
+val to_embedding : t -> Xt_embedding.Embedding.t
+(** Snapshot of the current placement over the current host. *)

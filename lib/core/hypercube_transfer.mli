@@ -1,0 +1,47 @@
+(** Lemma 3 and Theorem 3: transferring the X-tree embedding into
+    hypercubes.
+
+    Lemma 3 embeds [X(r)] injectively into [Q_{r+1}] so that X-tree
+    distance [Δ] becomes hypercube distance at most [Δ + 1]: the vertex
+    with address [a] (level [l]) maps to the [(r+1)]-bit word
+    [χ(a)·1·0^{r-l}], where [χ] is the differential (Gray) recoding
+    [b₁ = a₁], [b_ν = a_ν ⊕ a_{ν-1}].
+
+    Theorem 3 composes Theorem 1 with Lemma 3: every binary tree with
+    [n = 16·(2^r - 1)] nodes embeds into its optimal hypercube [Q_r] with
+    load 16 and dilation 4; appending the 4 slot bits of Theorem 2 gives an
+    injective embedding into [Q_{r+4}] with dilation 8. *)
+
+val chi : int -> int
+(** The bit recoding [χ] on level indices: the binary-reflected Gray code. *)
+
+val map_vertex : height:int -> int -> int
+(** [map_vertex ~height a] is the [Q_{height+1}] label of X-tree vertex
+    [a] under Lemma 3. Raises [Invalid_argument] if [a] does not belong to
+    [X(height)]. *)
+
+val lemma3_distance_bound_holds : height:int -> bool
+(** Exhaustively checks [dist_Q(map α, map β) <= dist_X(α, β) + 1] over
+    all vertex pairs of [X(height)] — feasible up to height ~8. *)
+
+val siblings_adjacent : height:int -> bool
+(** Exhaustively checks the stepping stone of Lemma 3's proof: horizontal
+    neighbours of [X(height)] map to hypercube neighbours. *)
+
+type result = {
+  embedding : Xt_embedding.Embedding.t;
+  cube : Xt_topology.Hypercube.t;
+  dim : int;
+  base : Theorem1.result;
+}
+
+val embed : ?capacity:int -> Xt_bintree.Bintree.t -> result
+(** Theorem 3: load-[capacity] embedding into the smallest sufficient
+    hypercube, via Theorem 1 and Lemma 3. *)
+
+val embed_injective : ?capacity:int -> Xt_bintree.Bintree.t -> result
+(** The injective corollary: append slot bits, one dimension per
+    capacity-doubling (4 extra dimensions for capacity 16). *)
+
+val distance_oracle : result -> int -> int -> int
+(** Hamming distance on the host labels. *)

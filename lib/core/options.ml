@@ -1,0 +1,14 @@
+type t = { adjust : bool; pairing : bool; balance_split : bool }
+
+let default = { adjust = true; pairing = true; balance_split = true }
+let no_adjust = { default with adjust = false }
+let no_pairing = { default with pairing = false }
+let no_balance = { default with balance_split = false }
+
+let variants =
+  [
+    ("full", default);
+    ("no-adjust", no_adjust);
+    ("no-pairing", no_pairing);
+    ("no-balance", no_balance);
+  ]

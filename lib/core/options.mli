@@ -1,0 +1,28 @@
+(** Ablation switches for algorithm X-TREE.
+
+    The full algorithm is the paper's; each switch removes one mechanism
+    so benchmark E12 can show what it buys. Load <= capacity stays
+    enforced in every variant (the fallback count and the dilation absorb
+    the damage instead). *)
+
+type t = {
+  adjust : bool;
+  (** Run the ADJUST sweeps (the horizontal-edge rebalancing — the
+      paper's key idea). Off: pure top-down splitting, like the
+      recursive-bisection baseline but with the SPLIT machinery. *)
+  pairing : bool;
+  (** Size-aware pairing of pieces into the two SPLIT bags (larger piece
+      to the lighter bag). Off: arbitrary alternating assignment. *)
+  balance_split : bool;
+  (** SPLIT's final Lemma 2 split over the free slots. *)
+}
+
+val default : t
+(** All mechanisms on — the paper's algorithm. *)
+
+val no_adjust : t
+val no_pairing : t
+val no_balance : t
+
+val variants : (string * t) list
+(** Named variants for the ablation bench. *)

@@ -1,0 +1,35 @@
+(** Post-embedding repair: a load-preserving local search that removes the
+    rare condition-(3′) violations left by capacity fallbacks.
+
+    The X-TREE algorithm enforces load <= 16 by diverting a placement to
+    the nearest free slot when its target vertex is full; the handful of
+    edges touching a diverted node may then leave the Figure 2
+    neighbourhood (and occasionally push dilation from 3 to 4). This pass
+    walks the violating edges and greedily {e swaps} guest nodes between
+    host vertices whenever the swap strictly lowers the total badness
+
+    [cost(edge) = 100·(3′ violated) + host distance],
+
+    summed over all edges incident to the swapped pair. Swapping preserves
+    per-vertex loads exactly, so Theorem 1's load/expansion guarantees are
+    untouched; dilation and (3′) can only improve in total. *)
+
+type report = {
+  swaps : int;                (** Accepted swaps. *)
+  violations_before : int;    (** Condition-(3′) violations before. *)
+  violations_after : int;
+  dilation_before : int;
+  dilation_after : int;
+}
+
+val improve :
+  ?max_rounds:int ->
+  Xt_topology.Xtree.t ->
+  Xt_embedding.Embedding.t ->
+  Xt_embedding.Embedding.t * report
+(** [improve xt e] runs up to [max_rounds] (default 8) sweeps over the
+    violating edges. Returns the repaired embedding (a fresh value; [e] is
+    not mutated) and the before/after report. *)
+
+val improve_theorem1 : ?max_rounds:int -> Theorem1.result -> Theorem1.result * report
+(** Convenience wrapper re-packaging a Theorem 1 result. *)

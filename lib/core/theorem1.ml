@@ -1,0 +1,158 @@
+open Xt_prelude
+open Xt_topology
+open Xt_bintree
+open Xt_embedding
+
+type trace = {
+  rounds : int array array;
+  spreads : (int * int) array array;
+}
+
+type result = {
+  embedding : Embedding.t;
+  xt : Xtree.t;
+  height : int;
+  capacity : int;
+  fallbacks : int;
+  wide_pieces : int;
+  trace : trace option;
+}
+
+let optimal_size ?(capacity = 16) r = capacity * (Bits.pow2 (r + 1) - 1)
+
+let height_for ?(capacity = 16) n =
+  if n <= 0 then invalid_arg "Theorem1.height_for";
+  let rec find r = if optimal_size ~capacity r >= n then r else find (r + 1) in
+  find 0
+
+(* First [k] nodes of the guest in BFS order from its root: a connected
+   set whose complement's components each hang by a single edge. *)
+let bfs_prefix tree k =
+  let queue = Queue.create () in
+  Queue.add (Bintree.root tree) queue;
+  let taken = ref [] and count = ref 0 in
+  while !count < k && not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    taken := v :: !taken;
+    incr count;
+    List.iter (fun c -> Queue.add c queue) (Bintree.children tree v)
+  done;
+  List.rev !taken
+
+let snapshot st ~height =
+  let row = Array.make (max height 1) 0 in
+  for j = 0 to height - 1 do
+    let best = ref 0 in
+    List.iter
+      (fun a ->
+        let d =
+          abs
+            (State.weight_of st (Xtree.child a 0) - State.weight_of st (Xtree.child a 1))
+        in
+        if d > !best then best := d)
+      (Xtree.vertices_at_level st.State.xt j);
+    row.(j) <- !best
+  done;
+  row
+
+(* nl(j,i) / nh(j,i) of the paper: the per-level extremes of the number
+   of guest nodes associated to one X-subtree. *)
+let snapshot_spread st ~height =
+  let row = Array.make (height + 1) (0, 0) in
+  for j = 0 to height do
+    let lo = ref max_int and hi = ref 0 in
+    List.iter
+      (fun a ->
+        let w = State.weight_of st a in
+        if w < !lo then lo := w;
+        if w > !hi then hi := w)
+      (Xtree.vertices_at_level st.State.xt j);
+    row.(j) <- ((if !lo = max_int then 0 else !lo), !hi)
+  done;
+  row
+
+(* Place every node still living in a piece: breadth-first from the
+   piece's boundary nodes, each node next to an already-placed tree
+   neighbour (State.lay diverts to the nearest free slot if needed). *)
+let final_fill st =
+  let height = st.State.height in
+  let order = Xtree.order st.State.xt in
+  for v = 0 to order - 1 do
+    let rec drain () =
+      match State.pieces_at st v with
+      | [] -> ()
+      | (p : State.piece) :: _ ->
+          State.detach st ~vertex:v p;
+          let member = Hashtbl.create (List.length p.nodes) in
+          List.iter (fun w -> Hashtbl.replace member w ()) p.nodes;
+          let queue = Queue.create () in
+          let seen = Hashtbl.create 16 in
+          let seed w =
+            if not (Hashtbl.mem seen w) then begin
+              Hashtbl.replace seen w ();
+              Queue.add w queue
+            end
+          in
+          (match p.bounds with
+          | [] -> seed (List.hd p.nodes)
+          | bs -> List.iter (fun b -> seed b.State.bnode) bs);
+          while not (Queue.is_empty queue) do
+            let w = Queue.pop queue in
+            let hint = ref v in
+            Bintree.iter_neighbours st.State.tree w (fun x ->
+                if st.State.place.(x) >= 0 then hint := st.State.place.(x));
+            State.lay st ~max_level:height ~node:w ~vertex:!hint;
+            Bintree.iter_neighbours st.State.tree w (fun x ->
+                if Hashtbl.mem member x && st.State.place.(x) < 0 then seed x)
+          done;
+          drain ()
+    in
+    drain ()
+  done
+
+let embed ?(capacity = 16) ?height ?(record_trace = false) ?(options = Options.default) tree =
+  let n = Bintree.n tree in
+  let height = match height with Some h -> h | None -> height_for ~capacity n in
+  if optimal_size ~capacity height < n then
+    invalid_arg "Theorem1.embed: X-tree too small for this guest";
+  let st = State.create ~tree ~height ~capacity in
+  (* Round 0: the initial subtree D0 at the root. *)
+  let d0 = bfs_prefix tree (min capacity n) in
+  List.iter (fun node -> State.lay st ~max_level:0 ~node ~vertex:Xtree.root) d0;
+  let rest = List.filter (fun v -> st.State.place.(v) < 0) (List.init n Fun.id) in
+  Moves.reattach st ~floor_level:0 ~fallback:Xtree.root rest;
+  (* Rounds 1..r. *)
+  let rows = ref [] and spread_rows = ref [] in
+  for i = 1 to height do
+    if options.Options.adjust then
+      for j = 0 to i - 2 do
+        List.iter (fun a -> Adjust.run st ~round:i ~a) (Xtree.vertices_at_level st.State.xt j)
+      done;
+    List.iter
+      (fun alpha -> Split.run ~options st ~round:i ~alpha)
+      (Xtree.vertices_at_level st.State.xt (i - 1));
+    if record_trace then begin
+      rows := snapshot st ~height :: !rows;
+      spread_rows := snapshot_spread st ~height :: !spread_rows
+    end
+  done;
+  final_fill st;
+  let embedding = Embedding.make ~tree ~host:(Xtree.graph st.State.xt) ~place:st.State.place in
+  {
+    embedding;
+    xt = st.State.xt;
+    height;
+    capacity;
+    fallbacks = st.State.fallbacks;
+    wide_pieces = st.State.wide_pieces;
+    trace =
+      (if record_trace then
+         Some
+           {
+             rounds = Array.of_list (List.rev !rows);
+             spreads = Array.of_list (List.rev !spread_rows);
+           }
+       else None);
+  }
+
+let distance_oracle result = Xtree.distance result.xt

@@ -1,0 +1,52 @@
+(** Theorem 1: every binary tree with [n = 16·(2{^r+1} - 1)] nodes embeds
+    into the X-tree of height [r] with dilation 3 and load factor 16.
+
+    The implementation follows the paper's iterative algorithm X-TREE
+    (ADJUST sweeps top-down, then SPLIT over the previous leaf level, one
+    round per X-tree level), generalised to arbitrary [n] by choosing the
+    smallest sufficient height. Load <= capacity is {e enforced} — a full
+    vertex diverts the placement to the nearest free slot (counted in
+    [fallbacks]) — so dilation is the measured quantity. *)
+
+type trace = {
+  rounds : int array array;
+  (** [rounds.(i-1).(j)] is the maximum weight difference [|w(a0) - w(a1)|]
+      over level-[j] vertices [a] after round [i] — the quantity the paper
+      bounds by [2·Δ(j+1, i)]. *)
+  spreads : (int * int) array array;
+  (** [spreads.(i-1).(j) = (nl(j,i), nh(j,i))]: the minimum and maximum
+      number of guest nodes associated to a level-[j] X-subtree after
+      round [i] — the paper bounds these by [n_{r-j} ∓ a(j,i)]. *)
+}
+
+type result = {
+  embedding : Xt_embedding.Embedding.t;
+  xt : Xt_topology.Xtree.t;
+  height : int;
+  capacity : int;
+  fallbacks : int;     (** Placements diverted by a full vertex. *)
+  wide_pieces : int;   (** Pieces created with more than two boundaries. *)
+  trace : trace option;
+}
+
+val height_for : ?capacity:int -> int -> int
+(** Smallest [r] with [capacity·(2{^r+1} - 1) >= n]. *)
+
+val optimal_size : ?capacity:int -> int -> int
+(** [capacity·(2{^r+1} - 1)], the paper's [n] for height [r]. *)
+
+val embed :
+  ?capacity:int ->
+  ?height:int ->
+  ?record_trace:bool ->
+  ?options:Options.t ->
+  Xt_bintree.Bintree.t ->
+  result
+(** Run algorithm X-TREE. [capacity] defaults to the paper's 16. [height]
+    defaults to {!height_for}; raises [Invalid_argument] if an explicit
+    height gives insufficient total capacity. [options] selects ablation
+    variants (default: the full paper algorithm). *)
+
+val distance_oracle : result -> int -> int -> int
+(** Memoised X-tree distance for use with {!Xt_embedding.Embedding}
+    metrics. *)

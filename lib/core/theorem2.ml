@@ -1,0 +1,38 @@
+open Xt_prelude
+open Xt_topology
+open Xt_embedding
+
+type result = {
+  embedding : Embedding.t;
+  xt : Xtree.t;
+  height : int;
+  extra_levels : int;
+  base : Theorem1.result;
+}
+
+let of_theorem1 (base : Theorem1.result) =
+  let extra =
+    let rec find k = if Bits.pow2 k >= base.capacity then k else find (k + 1) in
+    find 0
+  in
+  let height = base.height + extra in
+  let xt = Xtree.create ~height in
+  let tree = base.embedding.Embedding.tree in
+  let n = Xt_bintree.Bintree.n tree in
+  (* Per base vertex, hand out distinct suffixes in arrival order. *)
+  let next_suffix = Array.make (Xtree.order base.xt) 0 in
+  let place = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    let a = base.embedding.Embedding.place.(v) in
+    let mu = next_suffix.(a) in
+    next_suffix.(a) <- mu + 1;
+    let level = Xtree.level a + extra in
+    let index = (Xtree.index a * Bits.pow2 extra) + mu in
+    place.(v) <- Xtree.id ~level ~index
+  done;
+  let embedding = Embedding.make ~tree ~host:(Xtree.graph xt) ~place in
+  { embedding; xt; height; extra_levels = extra; base }
+
+let embed ?capacity tree = of_theorem1 (Theorem1.embed ?capacity tree)
+
+let distance_oracle result = Xtree.distance result.xt

@@ -1,0 +1,25 @@
+(** Theorem 2: the injective refinement.
+
+    The load-16 embedding of Theorem 1 into [X(r)] becomes a one-to-one
+    embedding into [X(r+4)] by sending the (at most) 16 guest nodes living
+    at an X-tree vertex [a] to the 16 distinct descendants [a·μ],
+    [μ ∈ {0,1}{^4}], four levels below [a]. Any assignment of the 16
+    suffixes works; a path [α-β-γ-ω] of length 3 in [X(r)] becomes a path
+    [αμ ⋯ α-β-γ-ω ⋯ ων] of length at most [4 + 3 + 4 = 11]. *)
+
+type result = {
+  embedding : Xt_embedding.Embedding.t;
+  xt : Xt_topology.Xtree.t; (** The enlarged host [X(r + extra)]. *)
+  height : int;             (** Height of the enlarged host. *)
+  extra_levels : int;       (** 4 for the paper's capacity 16. *)
+  base : Theorem1.result;   (** The underlying load-16 embedding. *)
+}
+
+val of_theorem1 : Theorem1.result -> result
+(** Refine an existing Theorem 1 embedding. The number of extra levels is
+    the smallest [k] with [2{^k}] at least the base capacity. *)
+
+val embed : ?capacity:int -> Xt_bintree.Bintree.t -> result
+(** [embed t] runs Theorem 1 and refines it. *)
+
+val distance_oracle : result -> int -> int -> int

@@ -1,0 +1,35 @@
+(** Theorem 4: a universal graph of degree at most 415 for binary trees.
+
+    [G_n] ([n = 16·(2{^r+1} - 1) = 2{^r+5} - 16]) has one vertex per
+    (X-tree vertex, slot) pair, [slot < 16]. Two slots are adjacent iff
+    their X-tree vertices [a], [b] satisfy [b ∈ N(a)] or [a ∈ N(b)] (the
+    Figure 2 neighbourhood), or [a = b] (a 16-clique per vertex). Every
+    load-16 embedding satisfying condition (3′) then realises its guest
+    tree as a spanning tree of [G_n]. *)
+
+type t = {
+  graph : Xt_topology.Graph.t;
+  xt : Xt_topology.Xtree.t;
+  height : int;
+  slots : int; (** 16 for the paper's construction. *)
+}
+
+val create : ?slots:int -> int -> t
+(** [create height] builds [G_n] for the X-tree of the given height. *)
+
+val order : t -> int
+
+val degree_bound : int
+(** 415 = 25·16 + 15, the paper's bound for 16 slots. *)
+
+val slot_vertex : t -> xvertex:int -> slot:int -> int
+(** Vertex id of a (vertex, slot) pair. *)
+
+val spanning_tree_of : t -> Xt_bintree.Bintree.t -> (int array, string) result
+(** Embed the guest with Theorem 1 (capacity = [slots]) on this [t]'s
+    X-tree, run the {!Repair} pass to restore condition (3′) on any
+    fallback-diverted edges, assign distinct slots per vertex, and check
+    that every guest edge is an edge of [G_n]. Returns the injective
+    placement, or a description of the first missing edge. The guest must
+    have at most [order t] nodes (exactly that many for a spanning
+    tree). *)

@@ -1,0 +1,271 @@
+open Xt_prelude
+open Xt_topology
+open Xt_bintree
+open Xt_embedding
+
+type result = {
+  embedding : Embedding.t;
+  xt : Xtree.t;
+  height : int;
+  budget : int;
+  max_vertex_weight : int;
+  total_weight : int;
+  weights : int array;
+}
+
+(* Weighted subtree sizes of a component rooted at [r], restricted to
+   [member]; returns (order, parent, wsize) as hashtables keyed by node. *)
+let rooted tree ~member ~weights r =
+  let parent = Hashtbl.create 64 in
+  let order = ref [] in
+  let stack = Stack.create () in
+  Hashtbl.replace parent r (-1);
+  Stack.push r stack;
+  while not (Stack.is_empty stack) do
+    let v = Stack.pop stack in
+    order := v :: !order;
+    Bintree.iter_neighbours tree v (fun w ->
+        if member w && not (Hashtbl.mem parent w) then begin
+          Hashtbl.replace parent w v;
+          Stack.push w stack
+        end)
+  done;
+  let wsize = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace wsize v weights.(v)) !order;
+  List.iter
+    (fun v ->
+      let p = Hashtbl.find parent v in
+      if p >= 0 then Hashtbl.replace wsize p (Hashtbl.find wsize p + Hashtbl.find wsize v))
+    !order;
+  (List.rev !order, parent, wsize)
+
+(* Weighted find1: descend into the heaviest child while the current
+   weighted subtree exceeds 4A/3; carve that subtree out of [nodes].
+   Returns (carved, kept). *)
+let carve tree ~weights nodes ~target =
+  let member_tbl = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace member_tbl v ()) nodes;
+  let member v = Hashtbl.mem member_tbl v in
+  match nodes with
+  | [] -> ([], [])
+  | r :: _ ->
+      let _, parent, wsize = rooted tree ~member ~weights r in
+      let rec descend u =
+        if 3 * Hashtbl.find wsize u <= 4 * target then u
+        else begin
+          let best = ref (-1) and best_w = ref 0 in
+          Bintree.iter_neighbours tree u (fun c ->
+              if member c && Hashtbl.find parent c = u then begin
+                let w = Hashtbl.find wsize c in
+                if w > !best_w then begin
+                  best := c;
+                  best_w := w
+                end
+              end);
+          if !best < 0 then u else descend !best
+        end
+      in
+      let u = descend r in
+      if u = r then (nodes, [])
+      else begin
+        (* collect T(u) *)
+        let carved = Hashtbl.create 64 in
+        let stack = Stack.create () in
+        Hashtbl.replace carved u ();
+        Stack.push u stack;
+        while not (Stack.is_empty stack) do
+          let v = Stack.pop stack in
+          Bintree.iter_neighbours tree v (fun w ->
+              if member w && Hashtbl.find parent w = v && not (Hashtbl.mem carved w) then begin
+                Hashtbl.replace carved w ();
+                Stack.push w stack
+              end)
+        done;
+        List.partition (fun v -> Hashtbl.mem carved v) nodes
+      end
+
+let components tree nodes =
+  let member_tbl = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace member_tbl v ()) nodes;
+  let seen = Hashtbl.create 64 in
+  let comps = ref [] in
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem seen v) then begin
+        let comp = ref [] in
+        let stack = Stack.create () in
+        Hashtbl.replace seen v ();
+        Stack.push v stack;
+        while not (Stack.is_empty stack) do
+          let u = Stack.pop stack in
+          comp := u :: !comp;
+          Bintree.iter_neighbours tree u (fun w ->
+              if Hashtbl.mem member_tbl w && not (Hashtbl.mem seen w) then begin
+                Hashtbl.replace seen w ();
+                Stack.push w stack
+              end)
+        done;
+        comps := !comp :: !comps
+      end)
+    nodes;
+  !comps
+
+let weight_of weights nodes = List.fold_left (fun acc v -> acc + weights.(v)) 0 nodes
+
+let embed ?height ~budget ~weights tree =
+  let n = Bintree.n tree in
+  if Array.length weights <> n then invalid_arg "Weighted.embed: weights size";
+  Array.iter (fun w -> if w <= 0 then invalid_arg "Weighted.embed: non-positive weight") weights;
+  let heaviest = Array.fold_left max 0 weights in
+  if budget < heaviest then invalid_arg "Weighted.embed: budget below heaviest node";
+  let total_weight = Array.fold_left ( + ) 0 weights in
+  let height =
+    match height with
+    | Some h -> h
+    | None ->
+        (* 25% headroom over the perfectly balanced requirement *)
+        let needed = total_weight + (total_weight / 4) in
+        let rec find r = if budget * (Bits.pow2 (r + 1) - 1) >= needed then r else find (r + 1) in
+        find 0
+  in
+  let xt = Xtree.create ~height in
+  let place = Array.make n (-1) in
+  (* Peel frontier nodes (adjacent to something placed, or the seed) into
+     [vertex] while the budget lasts; returns the rest. *)
+  let fill vertex nodes =
+    let remaining = ref nodes and used = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !remaining <> [] do
+      let frontier =
+        List.filter
+          (fun v ->
+            let adj = ref false in
+            Bintree.iter_neighbours tree v (fun w -> if place.(w) >= 0 then adj := true);
+            !adj)
+          !remaining
+      in
+      let candidates = if frontier = [] then [ List.hd !remaining ] else frontier in
+      let placeable = List.filter (fun v -> !used + weights.(v) <= budget) candidates in
+      match placeable with
+      | [] -> continue_ := false
+      | _ ->
+          (* heaviest-first keeps the bin packing tight *)
+          let v =
+            List.fold_left (fun acc v -> if weights.(v) > weights.(acc) then v else acc)
+              (List.hd placeable) placeable
+          in
+          place.(v) <- vertex;
+          used := !used + weights.(v);
+          remaining := List.filter (fun w -> w <> v) !remaining
+    done;
+    !remaining
+  in
+  (* Split [nodes] into two bags of roughly equal total weight. *)
+  let bisect nodes =
+    let comps = components tree nodes in
+    let sized = List.map (fun c -> (weight_of weights c, c)) comps in
+    let sorted = List.sort (fun (a, _) (b, _) -> compare b a) sized in
+    let s0 = ref 0 and s1 = ref 0 and b0 = ref [] and b1 = ref [] in
+    List.iter
+      (fun (w, c) ->
+        if !s0 <= !s1 then begin
+          s0 := !s0 + w;
+          b0 := c :: !b0
+        end
+        else begin
+          s1 := !s1 + w;
+          b1 := c :: !b1
+        end)
+      sorted;
+    let delta = (max !s0 !s1 - min !s0 !s1) / 2 in
+    if delta > 0 then begin
+      let heavy, light, hs, ls = if !s0 >= !s1 then (b0, b1, s0, s1) else (b1, b0, s1, s0) in
+      match List.sort (fun a b -> compare (weight_of weights b) (weight_of weights a)) !heavy with
+      | biggest :: rest when List.length biggest > 1 ->
+          let carved, kept = carve tree ~weights biggest ~target:delta in
+          if kept <> [] && carved <> [] then begin
+            let moved = weight_of weights carved in
+            heavy := kept :: rest;
+            light := carved :: !light;
+            hs := !hs - moved;
+            ls := !ls + moved
+          end
+      | _ -> ()
+    end;
+    (List.concat !b0, List.concat !b1)
+  in
+  let rec go vertex nodes =
+    if nodes <> [] then
+      if Xtree.level vertex = height then List.iter (fun v -> place.(v) <- vertex) nodes
+      else begin
+        let rest = fill vertex nodes in
+        let left, right = bisect rest in
+        go (Xtree.child vertex 0) left;
+        go (Xtree.child vertex 1) right
+      end
+  in
+  go Xtree.root (List.init n Fun.id);
+  (* Spill pass: recursive bisection cannot correct compounding errors
+     (that is exactly the paper's point), so vertices can end up over
+     budget — evict their lightest nodes to the nearest vertex with room.
+     The 25% default headroom guarantees room exists somewhere. *)
+  let vweights = Array.make (Xtree.order xt) 0 in
+  Array.iteri (fun v p -> vweights.(p) <- vweights.(p) + weights.(v)) place;
+  let host = Xtree.graph xt in
+  let nearest_with_room from_ w =
+    let seen = Array.make (Graph.n host) false in
+    let queue = Queue.create () in
+    Queue.add from_ queue;
+    seen.(from_) <- true;
+    let found = ref (-1) in
+    while !found < 0 && not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      if v <> from_ && vweights.(v) + w <= budget then found := v
+      else
+        Graph.iter_neighbours host v (fun u ->
+            if not seen.(u) then begin
+              seen.(u) <- true;
+              Queue.add u queue
+            end)
+    done;
+    !found
+  in
+  for vertex = 0 to Xtree.order xt - 1 do
+    if vweights.(vertex) > budget then begin
+      (* residents, lightest first *)
+      let residents = ref [] in
+      Array.iteri (fun v p -> if p = vertex then residents := v :: !residents) place;
+      let ordered = List.sort (fun a b -> compare weights.(a) weights.(b)) !residents in
+      List.iter
+        (fun v ->
+          if vweights.(vertex) > budget then begin
+            let target = nearest_with_room vertex weights.(v) in
+            if target >= 0 then begin
+              place.(v) <- target;
+              vweights.(vertex) <- vweights.(vertex) - weights.(v);
+              vweights.(target) <- vweights.(target) + weights.(v)
+            end
+          end)
+        ordered
+    end
+  done;
+  let embedding = Embedding.make ~tree ~host:(Xtree.graph xt) ~place in
+  let vweights = Array.make (Xtree.order xt) 0 in
+  Array.iteri (fun v p -> vweights.(p) <- vweights.(p) + weights.(v)) place;
+  let max_vertex_weight = Array.fold_left max 0 vweights in
+  { embedding; xt; height; budget; max_vertex_weight; total_weight; weights }
+
+let vertex_weights_from ~weights (e : Embedding.t) =
+  let vweights = Array.make (Graph.n e.host) 0 in
+  Array.iteri (fun v p -> vweights.(p) <- vweights.(p) + weights.(v)) e.place;
+  vweights
+
+let vertex_weights r = vertex_weights_from ~weights:r.weights r.embedding
+
+let imbalance r =
+  let vertices = Xtree.order r.xt in
+  let ideal = (r.total_weight + vertices - 1) / vertices in
+  float_of_int r.max_vertex_weight /. float_of_int (max 1 ideal)
+
+let evaluate_placement ~weights (e : Embedding.t) =
+  Array.fold_left max 0 (vertex_weights_from ~weights e)

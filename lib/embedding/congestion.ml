@@ -1,0 +1,139 @@
+open Xt_prelude
+open Xt_topology
+open Xt_bintree
+
+type result = { congestion : int; max_route_length : int; total_route_length : int }
+
+(* How many extra hops a route may take to dodge congestion. *)
+let detour_slack = 4
+
+(* Load-aware Dijkstra from s to t over (vertex, hops-used) states, so
+   that routes are guaranteed at most [shortest + detour_slack] hops long
+   ([ds]/[dt] are hop-distance rows from s and t, used to prune states
+   that cannot finish within budget). Edge cost (load+1)^2 gives shortest
+   paths on an idle network and repels hot edges under load. *)
+let dijkstra host load ~ds ~dt s t =
+  let n = Graph.n host in
+  let budget = ds.(t) + detour_slack in
+  let states = n * (budget + 1) in
+  let dist = Array.make states max_int in
+  let parent = Array.make states (-1) in
+  let id v h = (v * (budget + 1)) + h in
+  let heap = Heap.create () in
+  dist.(id s 0) <- 0;
+  Heap.push heap ~key:0 (id s 0);
+  let goal = ref (-1) in
+  while !goal < 0 && not (Heap.is_empty heap) do
+    match Heap.pop_min heap with
+    | None -> goal := -2
+    | Some (d, st) ->
+        let u = st / (budget + 1) and h = st mod (budget + 1) in
+        if u = t then goal := st
+        else if d <= dist.(st) && h < budget then
+          Graph.iter_neighbours host u (fun v ->
+              if dt.(v) >= 0 && h + 1 + dt.(v) <= budget then begin
+                let key = (min u v, max u v) in
+                let l = Option.value ~default:0 (Hashtbl.find_opt load key) in
+                let c = d + ((l + 1) * (l + 1)) in
+                let st' = id v (h + 1) in
+                if c < dist.(st') then begin
+                  dist.(st') <- c;
+                  parent.(st') <- st;
+                  Heap.push heap ~key:c st'
+                end
+              end)
+  done;
+  if s = t then Some [ s ]
+  else if !goal < 0 then None
+  else begin
+    let rec walk acc st =
+      let v = st / (budget + 1) in
+      if st = id s 0 then v :: acc else walk (v :: acc) parent.(st)
+    in
+    Some (walk [] !goal)
+  end
+
+let bump load a b =
+  let key = (min a b, max a b) in
+  Hashtbl.replace load key (1 + Option.value ~default:0 (Hashtbl.find_opt load key))
+
+let demands (e : Embedding.t) =
+  (* guest edges with distinct endpoint images, longest first *)
+  let rows = Hashtbl.create 64 in
+  let dist s v =
+    let row =
+      match Hashtbl.find_opt rows s with
+      | Some r -> r
+      | None ->
+          let r = Graph.bfs e.host s in
+          Hashtbl.replace rows s r;
+          r
+    in
+    row.(v)
+  in
+  Bintree.edges e.tree
+  |> List.filter_map (fun (u, v) ->
+         let a = e.place.(u) and b = e.place.(v) in
+         if a = b then None else Some (dist a b, a, b))
+  |> List.sort (fun (d1, _, _) (d2, _, _) -> compare d2 d1)
+
+let summarise load routes =
+  let congestion = Hashtbl.fold (fun _ c acc -> max c acc) load 0 in
+  let max_route_length = List.fold_left (fun acc r -> max acc r) 0 routes in
+  let total_route_length = List.fold_left ( + ) 0 routes in
+  { congestion; max_route_length; total_route_length }
+
+let route (e : Embedding.t) =
+  let load = Hashtbl.create 256 in
+  let rows = Hashtbl.create 64 in
+  let row s =
+    match Hashtbl.find_opt rows s with
+    | Some r -> r
+    | None ->
+        let r = Graph.bfs e.host s in
+        Hashtbl.replace rows s r;
+        r
+  in
+  let lengths =
+    List.map
+      (fun (_, a, b) ->
+        match dijkstra e.host load ~ds:(row a) ~dt:(row b) a b with
+        | None -> 0
+        | Some path ->
+            let rec charge = function
+              | x :: (y :: _ as rest) ->
+                  bump load x y;
+                  1 + charge rest
+              | _ -> 0
+            in
+            charge path)
+      (demands e)
+  in
+  summarise load lengths
+
+let baseline (e : Embedding.t) =
+  let load = Hashtbl.create 256 in
+  let parents = Hashtbl.create 64 in
+  let parent_row s =
+    match Hashtbl.find_opt parents s with
+    | Some p -> p
+    | None ->
+        let _, p = Graph.bfs_parents e.host s in
+        Hashtbl.replace parents s p;
+        p
+  in
+  let lengths =
+    List.map
+      (fun (_, a, b) ->
+        let p = parent_row a in
+        let rec walk len v =
+          if v = a then len
+          else begin
+            bump load v p.(v);
+            walk (len + 1) p.(v)
+          end
+        in
+        walk 0 b)
+      (demands e)
+  in
+  summarise load lengths

@@ -1,0 +1,71 @@
+open Xt_topology
+
+let graph ?(name = "g") ?label g =
+  let label = match label with Some f -> f | None -> string_of_int in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n  node [shape=circle];\n" name);
+  for v = 0 to Graph.n g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%s\"];\n" v (label v))
+  done;
+  Graph.iter_edges g (fun u v -> Buffer.add_string buf (Printf.sprintf "  n%d -- n%d;\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let xtree xt =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph xtree {\n  node [shape=circle];\n  rankdir=TB;\n";
+  for v = 0 to Xtree.order xt - 1 do
+    Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%s\"];\n" v (Xtree.to_string v))
+  done;
+  (* one rank per level *)
+  for l = 0 to Xtree.height xt do
+    Buffer.add_string buf "  { rank=same;";
+    List.iter (fun v -> Buffer.add_string buf (Printf.sprintf " n%d;" v)) (Xtree.vertices_at_level xt l);
+    Buffer.add_string buf " }\n"
+  done;
+  Graph.iter_edges (Xtree.graph xt) (fun u v ->
+      let style = if Xtree.level u = Xtree.level v then " [style=dotted]" else "" in
+      Buffer.add_string buf (Printf.sprintf "  n%d -- n%d%s;\n" u v style));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let embedding ?(max_guests_shown = 6) xt (e : Embedding.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "graph embedding {\n  node [shape=box];\n";
+  (* group guests per host vertex *)
+  let guests = Array.make (Graph.n e.host) [] in
+  Array.iteri (fun v p -> guests.(p) <- v :: guests.(p)) e.place;
+  for v = 0 to Graph.n e.host - 1 do
+    let gs = List.rev guests.(v) in
+    let shown = List.filteri (fun i _ -> i < max_guests_shown) gs in
+    let suffix = if List.length gs > max_guests_shown then ",..." else "" in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\\n{%s%s}\"];\n" v (Xtree.to_string v)
+         (String.concat "," (List.map string_of_int shown))
+         suffix)
+  done;
+  for l = 0 to Xtree.height xt do
+    Buffer.add_string buf "  { rank=same;";
+    List.iter (fun v -> Buffer.add_string buf (Printf.sprintf " n%d;" v)) (Xtree.vertices_at_level xt l);
+    Buffer.add_string buf " }\n"
+  done;
+  Graph.iter_edges e.host (fun u v ->
+      let style = if Xtree.level u = Xtree.level v then " [style=dotted]" else "" in
+      Buffer.add_string buf (Printf.sprintf "  n%d -- n%d%s;\n" u v style));
+  (* guest edges across host vertices, weighted by multiplicity *)
+  let cross : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v) ->
+      let a = e.place.(u) and b = e.place.(v) in
+      if a <> b then begin
+        let key = (min a b, max a b) in
+        Hashtbl.replace cross key (1 + Option.value ~default:0 (Hashtbl.find_opt cross key))
+      end)
+    (Xt_bintree.Bintree.edges e.tree);
+  Hashtbl.iter
+    (fun (a, b) count ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -- n%d [style=dashed color=red label=\"%d\"];\n" a b count))
+    cross;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

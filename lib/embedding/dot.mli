@@ -1,0 +1,16 @@
+(** Graphviz export, for eyeballing hosts and embeddings.
+
+    [dot -Tsvg out.dot > out.svg] renders the results; X-tree hosts are
+    ranked by level so the picture matches the paper's Figure 1. *)
+
+val graph : ?name:string -> ?label:(int -> string) -> Xt_topology.Graph.t -> string
+(** A plain undirected graph. [label] defaults to the vertex id. *)
+
+val xtree : Xt_topology.Xtree.t -> string
+(** The X-tree with binary-string labels and one rank per level. *)
+
+val embedding : ?max_guests_shown:int -> Xt_topology.Xtree.t -> Embedding.t -> string
+(** The host X-tree where every vertex is labelled with the guest nodes
+    it carries (truncated to [max_guests_shown], default 6), and guest
+    edges whose endpoints live on different host vertices appear as
+    dashed edges weighted by multiplicity. *)

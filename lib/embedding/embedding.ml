@@ -1,0 +1,123 @@
+open Xt_topology
+open Xt_bintree
+
+type t = { tree : Bintree.t; host : Graph.t; place : int array }
+
+let make ~tree ~host ~place =
+  if Array.length place <> Bintree.n tree then
+    invalid_arg "Embedding.make: place size does not match guest size";
+  Array.iter
+    (fun v -> if v < 0 || v >= Graph.n host then invalid_arg "Embedding.make: place out of host range")
+    place;
+  { tree; host; place }
+
+let guest_size e = Bintree.n e.tree
+let host_size e = Graph.n e.host
+
+(* Memoised per-source BFS distance oracle over the host. *)
+let bfs_oracle host =
+  let rows : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+  fun u v ->
+    let row =
+      match Hashtbl.find_opt rows u with
+      | Some row -> row
+      | None ->
+          let row = Graph.bfs host u in
+          Hashtbl.replace rows u row;
+          row
+    in
+    row.(v)
+
+let edge_dilations ?dist e =
+  let dist = match dist with Some d -> d | None -> bfs_oracle e.host in
+  let edges = Bintree.edges e.tree in
+  Array.of_list (List.map (fun (u, v) -> dist e.place.(u) e.place.(v)) edges)
+
+let dilation ?dist e = Array.fold_left max 0 (edge_dilations ?dist e)
+
+let average_dilation ?dist e =
+  let ds = edge_dilations ?dist e in
+  if Array.length ds = 0 then 0.
+  else float_of_int (Array.fold_left ( + ) 0 ds) /. float_of_int (Array.length ds)
+
+let loads e =
+  let l = Array.make (Graph.n e.host) 0 in
+  Array.iter (fun v -> l.(v) <- l.(v) + 1) e.place;
+  l
+
+let load e = Array.fold_left max 0 (loads e)
+
+let expansion e = float_of_int (host_size e) /. float_of_int (guest_size e)
+
+let is_injective e = load e <= 1
+
+let congestion e =
+  (* Route every guest edge along the BFS tree of its source's image;
+     count per-host-edge usage. *)
+  let parents : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+  let parent_row s =
+    match Hashtbl.find_opt parents s with
+    | Some p -> p
+    | None ->
+        let _, p = Graph.bfs_parents e.host s in
+        Hashtbl.replace parents s p;
+        p
+  in
+  let usage : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let bump a b =
+    let key = (min a b, max a b) in
+    Hashtbl.replace usage key (1 + Option.value ~default:0 (Hashtbl.find_opt usage key))
+  in
+  List.iter
+    (fun (u, v) ->
+      let s = e.place.(u) and t = e.place.(v) in
+      if s <> t then begin
+        let p = parent_row s in
+        let rec walk w = if w <> s then begin
+            bump w p.(w);
+            walk p.(w)
+          end
+        in
+        walk t
+      end)
+    (Bintree.edges e.tree);
+  Hashtbl.fold (fun _ c acc -> max c acc) usage 0
+
+type report = {
+  dilation : int;
+  average_dilation : float;
+  load : int;
+  expansion : float;
+  congestion : int;
+  injective : bool;
+}
+
+let report ?dist e =
+  let ds = edge_dilations ?dist e in
+  let dilation = Array.fold_left max 0 ds in
+  let average_dilation =
+    if Array.length ds = 0 then 0.
+    else float_of_int (Array.fold_left ( + ) 0 ds) /. float_of_int (Array.length ds)
+  in
+  {
+    dilation;
+    average_dilation;
+    load = load e;
+    expansion = expansion e;
+    congestion = congestion e;
+    injective = is_injective e;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "dilation=%d avg=%.2f load=%d expansion=%.3f congestion=%d%s" r.dilation
+    r.average_dilation r.load r.expansion r.congestion
+    (if r.injective then " injective" else "")
+
+let verify ?dist ?max_dilation ?max_load e =
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let d = dilation ?dist e in
+  let l = load e in
+  match (max_dilation, max_load) with
+  | Some bound, _ when d > bound -> fail "dilation %d exceeds bound %d" d bound
+  | _, Some bound when l > bound -> fail "load %d exceeds bound %d" l bound
+  | _ -> Ok ()

@@ -1,0 +1,139 @@
+open Xt_topology
+open Xt_bintree
+
+(* All-pairs host distances, dense. *)
+let distance_matrix host =
+  Array.init (Graph.n host) (fun v -> Graph.bfs host v)
+
+let tree_graph tree = Graph.of_edges ~n:(Bintree.n tree) (Bintree.edges tree)
+
+(* Guest vertices in BFS order from vertex 0, with the BFS parent of each
+   (so every vertex after the first has one earlier neighbour). Returns
+   None if the guest is disconnected. *)
+let bfs_order_graph guest =
+  let n = Graph.n guest in
+  let dist, parent = Graph.bfs_parents guest 0 in
+  if Array.exists (fun d -> d < 0) dist then None
+  else begin
+    let order = Array.init n Fun.id in
+    Array.sort (fun a b -> compare (dist.(a), a) (dist.(b), b)) order;
+    Some (order, parent)
+  end
+
+let try_dilation ~guest ~host ~dist ~order ~parent d =
+  let n = Graph.n guest and m = Graph.n host in
+  let place = Array.make n (-1) in
+  let used = Array.make m false in
+  let rec assign idx =
+    if idx = n then true
+    else begin
+      let v = order.(idx) in
+      let candidates =
+        if idx = 0 then List.init m Fun.id
+        else begin
+          let pp = place.(parent.(v)) in
+          let ball = ref [] in
+          for w = m - 1 downto 0 do
+            if dist.(pp).(w) >= 0 && dist.(pp).(w) <= d then ball := w :: !ball
+          done;
+          !ball
+        end
+      in
+      List.exists
+        (fun w ->
+          if used.(w) then false
+          else begin
+            let ok = ref true in
+            Graph.iter_neighbours guest v (fun u ->
+                if place.(u) >= 0 && (dist.(w).(place.(u)) < 0 || dist.(w).(place.(u)) > d) then
+                  ok := false);
+            if not !ok then false
+            else begin
+              place.(v) <- w;
+              used.(w) <- true;
+              if assign (idx + 1) then true
+              else begin
+                place.(v) <- -1;
+                used.(w) <- false;
+                false
+              end
+            end
+          end)
+        candidates
+    end
+  in
+  if assign 0 then Some (Array.copy place) else None
+
+let optimal_embedding_graph ?max_dilation ~guest ~host () =
+  let n = Graph.n guest and m = Graph.n host in
+  if n > m || n = 0 then None
+  else
+    match bfs_order_graph guest with
+    | None -> None
+    | Some (order, parent) ->
+        let dist = distance_matrix host in
+        let bound =
+          match max_dilation with
+          | Some b -> b
+          | None ->
+              let diameter = Graph.diameter host in
+              if diameter < 0 then Graph.n host else max diameter 1
+        in
+        let rec deepen d =
+          if d > bound then None
+          else
+            match try_dilation ~guest ~host ~dist ~order ~parent d with
+            | Some place -> Some (place, d)
+            | None -> deepen (d + 1)
+        in
+        if n = 1 then Some ([| 0 |], 0) else deepen 1
+
+let optimal_dilation_graph ?max_dilation ~guest ~host () =
+  Option.map snd (optimal_embedding_graph ?max_dilation ~guest ~host ())
+
+let optimal_embedding ?max_dilation ~guest ~host () =
+  optimal_embedding_graph ?max_dilation ~guest:(tree_graph guest) ~host ()
+
+let optimal_dilation ?max_dilation ~guest ~host () =
+  Option.map snd (optimal_embedding ?max_dilation ~guest ~host ())
+
+let brute_force_dilation_graph ~guest ~host =
+  let n = Graph.n guest and m = Graph.n host in
+  if n > m then None
+  else begin
+    let dist = distance_matrix host in
+    let edges = ref [] in
+    Graph.iter_edges guest (fun u v -> edges := (u, v) :: !edges);
+    let edges = !edges in
+    let best = ref None in
+    let place = Array.make n (-1) in
+    let used = Array.make m false in
+    let rec go idx =
+      if idx = n then begin
+        let d =
+          List.fold_left
+            (fun acc (u, v) ->
+              let duv = dist.(place.(u)).(place.(v)) in
+              if duv < 0 then max_int else max acc duv)
+            0 edges
+        in
+        match !best with
+        | Some b when b <= d -> ()
+        | _ -> if d < max_int then best := Some d
+      end
+      else
+        for w = 0 to m - 1 do
+          if not used.(w) then begin
+            used.(w) <- true;
+            place.(idx) <- w;
+            go (idx + 1);
+            used.(w) <- false;
+            place.(idx) <- -1
+          end
+        done
+    in
+    go 0;
+    !best
+  end
+
+let brute_force_dilation ~guest ~host = brute_force_dilation_graph ~guest:(tree_graph guest) ~host

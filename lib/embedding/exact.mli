@@ -1,0 +1,52 @@
+(** Exact minimum-dilation embeddings for {e small} instances, by
+    iterative-deepening branch and bound.
+
+    This is a research probe, not a production path: it answers questions
+    like "what is the best possible dilation of this 15-node tree in
+    CCC(3)?" for guests up to ~12–15 nodes and hosts up to a few dozen
+    vertices. Benchmark E13 uses it to sanity-check that Theorem 1's
+    constant is close to optimal and to illustrate the
+    Bhatt–Chung–Hong–Leighton–Rosenberg separation the paper cites (trees
+    embed well into X-trees, X-trees do not embed well into
+    CCC/butterflies). *)
+
+val optimal_embedding :
+  ?max_dilation:int ->
+  guest:Xt_bintree.Bintree.t ->
+  host:Xt_topology.Graph.t ->
+  unit ->
+  (int array * int) option
+(** Search injective embeddings in order of dilation [1, 2, …,
+    max_dilation] (default: the host diameter); return the first
+    placement found together with its dilation, or [None] when the guest
+    does not fit within the bound (or the host is too small /
+    disconnected). Deterministic. *)
+
+val optimal_dilation :
+  ?max_dilation:int -> guest:Xt_bintree.Bintree.t -> host:Xt_topology.Graph.t -> unit -> int option
+
+val brute_force_dilation :
+  guest:Xt_bintree.Bintree.t -> host:Xt_topology.Graph.t -> int option
+(** Reference oracle: try {e every} injective assignment (host
+    permutations) — factorial time, only for cross-checking the solver in
+    tests (guest and host at most ~7). *)
+
+(** {1 General connected guests}
+
+    The same search for an arbitrary connected guest graph — e.g. to ask
+    for the optimal dilation of an {e X-tree} inside a CCC or butterfly,
+    the separation result the paper builds on. *)
+
+val optimal_embedding_graph :
+  ?max_dilation:int ->
+  guest:Xt_topology.Graph.t ->
+  host:Xt_topology.Graph.t ->
+  unit ->
+  (int array * int) option
+(** Returns [None] for disconnected or oversized guests. *)
+
+val optimal_dilation_graph :
+  ?max_dilation:int -> guest:Xt_topology.Graph.t -> host:Xt_topology.Graph.t -> unit -> int option
+
+val brute_force_dilation_graph :
+  guest:Xt_topology.Graph.t -> host:Xt_topology.Graph.t -> int option

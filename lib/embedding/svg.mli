@@ -1,0 +1,13 @@
+(** Self-contained SVG rendering of X-trees and embeddings — no Graphviz
+    required; the output opens directly in a browser.
+
+    Vertices are laid out by (level, index) exactly as in the paper's
+    Figure 1; horizontal edges are drawn dotted; in embedding pictures
+    the fill darkens with the vertex load and stretched guest edges
+    (host distance >= 2) are overlaid in red. *)
+
+val xtree : Xt_topology.Xtree.t -> string
+(** The bare topology, Figure 1 style. *)
+
+val embedding : Xt_topology.Xtree.t -> Embedding.t -> string
+(** Host picture with per-vertex load shading and stretched guest edges. *)

@@ -1,0 +1,26 @@
+open Xt_topology
+
+type t = {
+  graph : Graph.t;
+  rows : (int, int array * int array) Hashtbl.t; (* dst -> (dist, parent towards dst) *)
+}
+
+let create graph = { graph; rows = Hashtbl.create 64 }
+
+let row t dst =
+  match Hashtbl.find_opt t.rows dst with
+  | Some r -> r
+  | None ->
+      let r = Graph.bfs_parents t.graph dst in
+      Hashtbl.replace t.rows dst r;
+      r
+
+let next_hop t ~current ~dst =
+  if current = dst then invalid_arg "Router.next_hop: already there";
+  let _, parent = row t dst in
+  if parent.(current) < 0 then invalid_arg "Router.next_hop: unreachable";
+  parent.(current)
+
+let path_length t ~src ~dst =
+  let dist, _ = row t dst in
+  dist.(src)

@@ -1,0 +1,16 @@
+(** Shortest-path next-hop routing over a host graph.
+
+    Routes follow the BFS tree of each destination, so every message takes
+    a true shortest path and routing is deterministic. Next-hop rows are
+    computed lazily per destination and memoised. *)
+
+type t
+
+val create : Xt_topology.Graph.t -> t
+
+val next_hop : t -> current:int -> dst:int -> int
+(** The neighbour to forward to. Raises [Invalid_argument] if
+    [current = dst] or the destination is unreachable. *)
+
+val path_length : t -> src:int -> dst:int -> int
+(** Hop count of the route ([-1] if unreachable). *)

@@ -1,0 +1,97 @@
+open Xt_topology
+
+type message = { dst : int; tag : int }
+
+type t = {
+  graph : Graph.t;
+  router : Router.t;
+  link_capacity : int;
+  service_rate : int;
+  (* FIFO queue per directed link, keyed (from, to) *)
+  queues : (int * int, message Queue.t) Hashtbl.t;
+  (* arrived messages awaiting CPU service, per vertex *)
+  inbox : message Queue.t array;
+  mutable cycle : int;
+  mutable in_flight : int;
+  mutable delivered : int;
+  mutable high_water : int;
+}
+
+type handler = tag:int -> t -> unit
+
+let create ?(link_capacity = 1) ?(service_rate = max_int) graph =
+  if link_capacity <= 0 then invalid_arg "Sim.create: link capacity";
+  if service_rate <= 0 then invalid_arg "Sim.create: service rate";
+  {
+    graph;
+    router = Router.create graph;
+    link_capacity;
+    service_rate;
+    queues = Hashtbl.create 256;
+    inbox = Array.init (Graph.n graph) (fun _ -> Queue.create ());
+    cycle = 0;
+    in_flight = 0;
+    delivered = 0;
+    high_water = 0;
+  }
+
+let queue_of t key =
+  match Hashtbl.find_opt t.queues key with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.queues key q;
+      q
+
+let enqueue t ~at msg =
+  if at = msg.dst then Queue.add msg t.inbox.(at)
+  else begin
+    let hop = Router.next_hop t.router ~current:at ~dst:msg.dst in
+    let q = queue_of t (at, hop) in
+    Queue.add msg q;
+    if Queue.length q > t.high_water then t.high_water <- Queue.length q
+  end
+
+let send t ~src ~dst ~tag =
+  if src < 0 || src >= Graph.n t.graph || dst < 0 || dst >= Graph.n t.graph then
+    invalid_arg "Sim.send: vertex out of range";
+  t.in_flight <- t.in_flight + 1;
+  enqueue t ~at:src { dst; tag }
+
+let run t ~on_deliver =
+  let start = t.cycle in
+  while t.in_flight > 0 do
+    t.cycle <- t.cycle + 1;
+    (* 1. links: advance one batch per directed link; arrivals join the
+       destination's inbox and may still be served this cycle *)
+    let moved = ref [] in
+    Hashtbl.iter
+      (fun (_, hop) q ->
+        for _ = 1 to min t.link_capacity (Queue.length q) do
+          moved := (hop, Queue.pop q) :: !moved
+        done)
+      t.queues;
+    List.iter
+      (fun (at, msg) ->
+        if msg.dst = at then Queue.add msg t.inbox.(at) else enqueue t ~at msg)
+      !moved;
+    (* 2. CPU service: each vertex completes up to service_rate messages;
+       completions may inject new traffic (carried next cycle) *)
+    let served = ref [] in
+    Array.iter
+      (fun q ->
+        for _ = 1 to min t.service_rate (Queue.length q) do
+          served := Queue.pop q :: !served
+        done)
+      t.inbox;
+    List.iter
+      (fun msg ->
+        t.in_flight <- t.in_flight - 1;
+        t.delivered <- t.delivered + 1;
+        on_deliver ~tag:msg.tag t)
+      !served
+  done;
+  t.cycle - start
+
+let delivered t = t.delivered
+let max_link_queue t = t.high_water

@@ -1,0 +1,35 @@
+(** A synchronous, cycle-accurate store-and-forward network simulator.
+
+    Every directed link transmits at most [link_capacity] messages per
+    cycle (FIFO per link). A message sent at cycle [t] starts moving at
+    cycle [t+1]; a message to the sender's own vertex is delivered at
+    [t+1] without using any link. Delivery callbacks may inject further
+    messages, so dependency chains (reductions, broadcasts) unfold
+    naturally. [run] executes until the network is quiescent and returns
+    the cycle count — the quantity the paper's dilation is a proxy for. *)
+
+type t
+
+type handler = tag:int -> t -> unit
+(** Called when a message with the given [tag] is delivered; may call
+    {!send} to continue the protocol. *)
+
+val create : ?link_capacity:int -> ?service_rate:int -> Xt_topology.Graph.t -> t
+(** [service_rate] (default unlimited) caps how many arrived messages one
+    vertex can {e complete} per cycle — the computation side of the
+    paper's load factor: a vertex carrying 16 guest nodes serialises their
+    work. Arrivals beyond the rate wait in the vertex inbox. *)
+
+val send : t -> src:int -> dst:int -> tag:int -> unit
+(** Inject a message at the current cycle. *)
+
+val run : t -> on_deliver:handler -> int
+(** Drive the network to quiescence; returns the number of cycles taken
+    (0 if nothing was ever sent). Raises [Invalid_argument] if a message
+    has an unreachable destination. *)
+
+val delivered : t -> int
+(** Total messages delivered so far. *)
+
+val max_link_queue : t -> int
+(** High-water mark of any link queue — a congestion indicator. *)

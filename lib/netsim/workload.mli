@@ -1,0 +1,52 @@
+(** Divide-and-conquer communication workloads over a guest binary tree,
+    executed on an arbitrary host through an embedding.
+
+    Each workload is a dependency-driven message protocol between guest
+    nodes; guest messages travel between the images of the nodes under the
+    placement, so running the same workload on the guest itself (identity
+    placement) and on an embedded host measures the {e slowdown} that the
+    paper's dilation bounds: constant dilation and bounded congestion give
+    constant-factor slowdown. Passing a finite [service_rate] additionally
+    charges the computation side of the load factor. *)
+
+type spec = {
+  name : string;
+  run : Sim.t -> place:int array -> tree:Xt_bintree.Bintree.t -> int;
+  (** Drives the protocol on a caller-supplied simulator; returns the
+      cycle count. *)
+}
+
+val reduction : spec
+(** Leaves send to parents; every internal node forwards once all its
+    children have arrived (one combine wave, as in parallel reduce). *)
+
+val broadcast : spec
+(** The root sends to its children, each node forwards downwards. *)
+
+val all_reduce : spec
+(** A reduction followed by a broadcast of the result. *)
+
+val pingpong_sweep : spec
+(** Every guest edge, one after another, carries a request/reply pair —
+    latency-bound, measures raw dilation without overlap. *)
+
+val permutation : spec
+(** Every guest node sends one message to its antipode in id space — a
+    fixed derangement unrelated to the tree structure, stressing
+    congestion rather than dilation. *)
+
+val workloads : spec list
+
+val run_native : ?link_capacity:int -> ?service_rate:int -> spec -> Xt_bintree.Bintree.t -> int
+(** Cycles on the guest tree itself (identity placement). *)
+
+val run_embedded : ?link_capacity:int -> ?service_rate:int -> spec -> Xt_embedding.Embedding.t -> int
+(** Cycles on the embedding's host. *)
+
+val run_on :
+  ?link_capacity:int -> ?service_rate:int -> spec -> Xt_embedding.Embedding.t -> Sim.t * int
+(** Like {!run_embedded} but also returns the finished simulator, for
+    queue statistics. *)
+
+val slowdown : spec -> Xt_embedding.Embedding.t -> float
+(** [run_embedded / run_native] for the embedding's guest. *)

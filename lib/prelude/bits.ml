@@ -1,0 +1,31 @@
+let pow2 l =
+  if l < 0 || l >= 62 then invalid_arg "Bits.pow2";
+  1 lsl l
+
+let ilog2 n =
+  if n <= 0 then invalid_arg "Bits.ilog2";
+  let rec loop acc n = if n <= 1 then acc else loop (acc + 1) (n lsr 1) in
+  loop 0 n
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let popcount n =
+  let rec loop acc n = if n = 0 then acc else loop (acc + 1) (n land (n - 1)) in
+  loop 0 n
+
+let trailing_ones ~width k =
+  let rec loop i = if i >= width then width else if k land (1 lsl i) = 0 then i else loop (i + 1) in
+  if width = 0 then 0 else loop 0
+
+let trailing_zeros ~width k =
+  let rec loop i = if i >= width then width else if k land (1 lsl i) <> 0 then i else loop (i + 1) in
+  if width = 0 then 0 else loop 0
+
+let bit k i = (k lsr i) land 1
+
+let string_of_bits ~width k =
+  String.init width (fun i -> if bit k (width - 1 - i) = 1 then '1' else '0')
+
+let gray k = k lxor (k lsr 1)
+
+let hamming a b = popcount (a lxor b)

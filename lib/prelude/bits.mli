@@ -1,0 +1,40 @@
+(** Bit-level helpers used throughout the X-tree libraries.
+
+    X-tree vertices are addressed by binary strings; we encode a string of
+    length [l] with integer value [k] as the pair [(l, k)] and frequently
+    need the little bit-fiddling operations below. *)
+
+val pow2 : int -> int
+(** [pow2 l] is [2{^l}]. Raises [Invalid_argument] if [l < 0] or [l >= 62]. *)
+
+val ilog2 : int -> int
+(** [ilog2 n] is [⌊log₂ n⌋] for [n >= 1]. Raises [Invalid_argument] on
+    [n <= 0]. *)
+
+val is_pow2 : int -> bool
+(** [is_pow2 n] is [true] iff [n] is a positive power of two. *)
+
+val popcount : int -> int
+(** Number of set bits of a non-negative integer. *)
+
+val trailing_ones : width:int -> int -> int
+(** [trailing_ones ~width k] is the length of the maximal suffix of ones of
+    the [width]-bit binary representation of [k]. For [width = 0] the result
+    is 0. *)
+
+val trailing_zeros : width:int -> int -> int
+(** [trailing_zeros ~width k] is the length of the maximal suffix of zeros
+    of the [width]-bit representation of [k]. For [width = 0] it is 0. *)
+
+val bit : int -> int -> int
+(** [bit k i] is bit [i] (0 = least significant) of [k], either 0 or 1. *)
+
+val string_of_bits : width:int -> int -> string
+(** [string_of_bits ~width k] renders the [width]-bit big-endian binary
+    string of [k]; the empty string when [width = 0]. *)
+
+val gray : int -> int
+(** [gray k] is the binary-reflected Gray code of [k]. *)
+
+val hamming : int -> int -> int
+(** [hamming a b] is the Hamming distance [popcount (a lxor b)]. *)

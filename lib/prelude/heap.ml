@@ -1,0 +1,71 @@
+type 'a t = {
+  mutable keys : int array;
+  mutable items : 'a array;
+  mutable size : int;
+}
+
+let create () = { keys = Array.make 16 0; items = [||]; size = 0 }
+
+let is_empty h = h.size = 0
+let size h = h.size
+
+let grow h item =
+  if h.size = 0 && Array.length h.items = 0 then begin
+    h.items <- Array.make (Array.length h.keys) item
+  end
+  else if h.size >= Array.length h.keys then begin
+    let cap = 2 * Array.length h.keys in
+    let keys = Array.make cap 0 and items = Array.make cap h.items.(0) in
+    Array.blit h.keys 0 keys 0 h.size;
+    Array.blit h.items 0 items 0 h.size;
+    h.keys <- keys;
+    h.items <- items
+  end
+
+let swap h i j =
+  let k = h.keys.(i) and x = h.items.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.items.(i) <- h.items.(j);
+  h.keys.(j) <- k;
+  h.items.(j) <- x
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.keys.(i) < h.keys.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+  if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h ~key item =
+  grow h item;
+  h.keys.(h.size) <- key;
+  h.items.(h.size) <- item;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek_min h = if h.size = 0 then None else Some (h.keys.(0), h.items.(0))
+
+let pop_min h =
+  if h.size = 0 then None
+  else begin
+    let top = (h.keys.(0), h.items.(0)) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.keys.(0) <- h.keys.(h.size);
+      h.items.(0) <- h.items.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end

@@ -1,0 +1,16 @@
+(** A mutable binary min-heap over integer-keyed items, used for Dijkstra
+    in the congestion-aware router. Keys are compared as integers; ties
+    break arbitrarily. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> key:int -> 'a -> unit
+
+val pop_min : 'a t -> (int * 'a) option
+(** Remove and return the item with the smallest key. *)
+
+val peek_min : 'a t -> (int * 'a) option

@@ -1,0 +1,32 @@
+let recommended_domains () =
+  let cores = Domain.recommended_domain_count () in
+  min 8 (max 1 (cores - 1))
+
+let map ?domains f xs =
+  let domains = match domains with Some d -> max 1 d | None -> recommended_domains () in
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n = 0 then []
+  else if domains = 1 || n = 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue_ = ref true in
+      while !continue_ do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue_ := false
+        else
+          try results.(i) <- Some (f items.(i))
+          with e -> ignore (Atomic.compare_and_set failure None (Some e))
+      done
+    in
+    let workers = List.init (min domains n) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join workers;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.to_list
+      (Array.map (function Some r -> r | None -> failwith "Parallel.map: missing result") results)
+  end
+
+let iter ?domains f xs = ignore (map ?domains (fun x -> f x) xs)

@@ -1,0 +1,17 @@
+(** Minimal fork–join parallelism over OCaml 5 domains.
+
+    Used by the experiment harness to run independent embeddings (one per
+    family × size cell) on separate cores. Work items must be pure or own
+    their mutable state — nothing here synchronises shared data beyond the
+    work queue itself. *)
+
+val recommended_domains : unit -> int
+(** [max 1 (cores - 1)], capped at 8. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] applies [f] to every element, distributing items over
+    [domains] worker domains (default {!recommended_domains}; [1] runs
+    sequentially in the calling domain). Order is preserved. The first
+    exception raised by any item is re-raised after all workers join. *)
+
+val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit

@@ -1,0 +1,30 @@
+type t = Random.State.t
+
+let make ~seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5deece66d |]
+
+let split t =
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Random.State.make [| a; b; 0x2545f491 |]
+
+let int t bound = Random.State.int t bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in";
+  lo + Random.State.int t (hi - lo + 1)
+
+let bool t = Random.State.bool t
+
+let float t bound = Random.State.float t bound
+
+let shuffle t a =
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick";
+  a.(Random.State.int t (Array.length a))

@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generation.
+
+    Thin wrapper around [Random.State] so that every generator in the
+    library threads an explicit state and experiments are reproducible from
+    a single integer seed. *)
+
+type t
+(** A mutable random state. *)
+
+val make : seed:int -> t
+(** Fresh state derived from [seed]. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] draws from [t] to create an independent child state. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in the inclusive range [\[lo, hi\]]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. Raises [Invalid_argument] if the
+    array is empty. *)

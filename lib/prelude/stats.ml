@@ -1,0 +1,53 @@
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+}
+
+let of_floats xs =
+  let n = Array.length xs in
+  if n = 0 then { count = 0; min = 0.; max = 0.; mean = 0.; stddev = 0. }
+  else begin
+    let mn = ref xs.(0) and mx = ref xs.(0) and sum = ref 0. in
+    Array.iter
+      (fun x ->
+        if x < !mn then mn := x;
+        if x > !mx then mx := x;
+        sum := !sum +. x)
+      xs;
+    let mean = !sum /. float_of_int n in
+    let var = ref 0. in
+    Array.iter (fun x -> var := !var +. ((x -. mean) *. (x -. mean))) xs;
+    let stddev = sqrt (!var /. float_of_int n) in
+    { count = n; min = !mn; max = !mx; mean; stddev }
+  end
+
+let of_ints xs = of_floats (Array.map float_of_int xs)
+
+let max_int_array xs =
+  if Array.length xs = 0 then invalid_arg "Stats.max_int_array";
+  Array.fold_left max xs.(0) xs
+
+let histogram ~width xs =
+  if width <= 0 then invalid_arg "Stats.histogram";
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun x ->
+      let b = (x / width) * width in
+      let b = if x < 0 && x mod width <> 0 then b - width else b in
+      Hashtbl.replace tbl b (1 + Option.value ~default:0 (Hashtbl.find_opt tbl b)))
+    xs;
+  Hashtbl.fold (fun b c acc -> (b, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let percentile p xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  let idx = if rank <= 0 then 0 else if rank > n then n - 1 else rank - 1 in
+  sorted.(idx)

@@ -1,0 +1,27 @@
+(** Small summary statistics over integer and float samples, used by the
+    experiment harness to aggregate per-edge and per-vertex measurements. *)
+
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+}
+(** Five-number-ish summary of a sample. For an empty sample all fields are
+    0 except [count]. *)
+
+val of_floats : float array -> summary
+val of_ints : int array -> summary
+
+val max_int_array : int array -> int
+(** Maximum of a non-empty int array. Raises [Invalid_argument] on empty. *)
+
+val histogram : width:int -> int array -> (int * int) list
+(** [histogram ~width xs] buckets values into intervals of size [width] and
+    returns [(bucket_start, count)] pairs in increasing order, skipping
+    empty buckets. *)
+
+val percentile : float -> float array -> float
+(** [percentile p xs] with [p] in [\[0,100\]], nearest-rank on a sorted copy.
+    Raises [Invalid_argument] on an empty sample. *)

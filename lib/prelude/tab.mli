@@ -1,0 +1,29 @@
+(** Plain-text table rendering for the experiment harness.
+
+    Every experiment in [bench/main.ml] prints one table; this module keeps
+    the formatting uniform (aligned columns, a rule under the header). *)
+
+type t
+(** A table under construction. *)
+
+val create : title:string -> string list -> t
+(** [create ~title headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; short rows are padded with empty cells, long rows raise
+    [Invalid_argument]. *)
+
+val add_int_row : t -> string -> int list -> unit
+(** [add_int_row t label xs] appends [label :: map string_of_int xs]. *)
+
+val print : t -> unit
+(** Render to stdout with aligned columns. *)
+
+val to_string : t -> string
+(** Render to a string (used by tests). *)
+
+val title : t -> string
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV: header row then data rows; cells containing commas,
+    quotes or newlines are quoted. *)

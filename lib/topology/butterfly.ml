@@ -1,0 +1,32 @@
+open Xt_prelude
+
+type t = { dim : int; graph : Graph.t }
+
+let vertex_raw dim ~word ~level = (word * (dim + 1)) + level
+
+let create ~dim =
+  if dim < 1 || dim > 20 then invalid_arg "Butterfly.create";
+  let words = Bits.pow2 dim in
+  let n = words * (dim + 1) in
+  let edges = ref [] in
+  for w = 0 to words - 1 do
+    for i = 0 to dim - 1 do
+      let v = vertex_raw dim ~word:w ~level:i in
+      edges := (v, vertex_raw dim ~word:w ~level:(i + 1)) :: !edges;
+      let w' = w lxor (1 lsl i) in
+      edges := (v, vertex_raw dim ~word:w' ~level:(i + 1)) :: !edges
+    done
+  done;
+  { dim; graph = Graph.of_edges ~n !edges }
+
+let dim t = t.dim
+let order t = Graph.n t.graph
+let graph t = t.graph
+
+let vertex t ~word ~level =
+  if word < 0 || word >= Bits.pow2 t.dim || level < 0 || level > t.dim then
+    invalid_arg "Butterfly.vertex";
+  vertex_raw t.dim ~word ~level
+
+let word t v = v / (t.dim + 1)
+let level t v = v mod (t.dim + 1)

@@ -1,0 +1,19 @@
+(** The (unwrapped) butterfly network [BF(d)]: vertices are pairs
+    [(w, i)] with [w] a [d]-bit word and level [i] in [0..d]; level [i] is
+    joined to level [i+1] by a {e straight} edge [(w,i)-(w,i+1)] and a
+    {e cross} edge [(w,i)-(w xor 2{^i}, i+1)]. *)
+
+type t
+
+val create : dim:int -> t
+(** Raises [Invalid_argument] if [dim < 1] or [dim > 20]. *)
+
+val dim : t -> int
+val order : t -> int
+(** [(d+1)·2{^d}]. *)
+
+val graph : t -> Graph.t
+
+val vertex : t -> word:int -> level:int -> int
+val word : t -> int -> int
+val level : t -> int -> int

@@ -1,0 +1,31 @@
+open Xt_prelude
+
+type t = { height : int; graph : Graph.t }
+
+let create ~height =
+  if height < 0 || height > 24 then invalid_arg "Cbt.create";
+  let n = Bits.pow2 (height + 1) - 1 in
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (v, (v - 1) / 2) :: !edges
+  done;
+  { height; graph = Graph.of_edges ~n !edges }
+
+let height t = t.height
+let order t = Graph.n t.graph
+let graph t = t.graph
+
+let level v = Bits.ilog2 (v + 1)
+
+let lca u v =
+  let rec lift x l target = if l = target then x else lift ((x - 1) / 2) (l - 1) target in
+  let lu = level u and lv = level v in
+  let common = min lu lv in
+  let rec meet a b = if a = b then a else meet ((a - 1) / 2) ((b - 1) / 2) in
+  meet (lift u lu common) (lift v lv common)
+
+let distance t u v =
+  let n = order t in
+  if u < 0 || v < 0 || u >= n || v >= n then invalid_arg "Cbt.distance";
+  let a = lca u v in
+  level u + level v - (2 * level a)

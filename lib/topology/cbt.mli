@@ -1,0 +1,16 @@
+(** The complete binary tree of height [r] in heap order — the X-tree
+    without its horizontal edges. Used as a guest topology and as a
+    baseline host. *)
+
+type t
+
+val create : height:int -> t
+val height : t -> int
+val order : t -> int
+val graph : t -> Graph.t
+
+val distance : t -> int -> int -> int
+(** Arithmetic tree distance: hops to the lowest common ancestor. *)
+
+val lca : int -> int -> int
+(** Lowest common ancestor of two heap-order ids. *)

@@ -1,0 +1,35 @@
+open Xt_prelude
+
+type t = { dim : int; graph : Graph.t }
+
+let vertex_raw dim ~word ~pos = (word * dim) + pos
+
+let create ~dim =
+  if dim < 1 || dim > 20 then invalid_arg "Ccc.create";
+  let words = Bits.pow2 dim in
+  let n = words * dim in
+  let edges = ref [] in
+  for w = 0 to words - 1 do
+    for i = 0 to dim - 1 do
+      let v = vertex_raw dim ~word:w ~pos:i in
+      (* cycle edge to (w, i+1 mod dim); for dim = 1 or 2 this degenerates *)
+      let j = (i + 1) mod dim in
+      if j <> i then edges := (v, vertex_raw dim ~word:w ~pos:j) :: !edges;
+      (* cube edge across dimension i *)
+      let w' = w lxor (1 lsl i) in
+      if w < w' then edges := (v, vertex_raw dim ~word:w' ~pos:i) :: !edges
+    done
+  done;
+  { dim; graph = Graph.of_edges ~n !edges }
+
+let dim t = t.dim
+let order t = Graph.n t.graph
+let graph t = t.graph
+
+let vertex t ~word ~pos =
+  if word < 0 || word >= Bits.pow2 t.dim || pos < 0 || pos >= t.dim then
+    invalid_arg "Ccc.vertex";
+  vertex_raw t.dim ~word ~pos
+
+let word t v = v / t.dim
+let pos t v = v mod t.dim

@@ -1,0 +1,23 @@
+(** Cube-connected cycles [CCC(d)]: each hypercube vertex [w] of [Q_d] is
+    replaced by a [d]-cycle of vertices [(w, 0) .. (w, d-1)]; [(w, i)] is
+    joined to its cycle neighbours and, across the cube dimension [i], to
+    [(w xor 2{^i}, i)]. Degree 3 throughout (for [d >= 3]).
+
+    The paper cites Bhatt–Chung–Hong–Leighton–Rosenberg: X-trees need
+    dilation Ω(log log n) in CCCs — we include the topology so benchmarks
+    can contrast it with the X-tree host. *)
+
+type t
+
+val create : dim:int -> t
+(** Raises [Invalid_argument] if [dim < 1] or [dim > 20]. *)
+
+val dim : t -> int
+val order : t -> int
+val graph : t -> Graph.t
+
+val vertex : t -> word:int -> pos:int -> int
+(** Id of [(word, pos)]. *)
+
+val word : t -> int -> int
+val pos : t -> int -> int

@@ -1,0 +1,137 @@
+type t = {
+  n : int;
+  m : int;
+  row : int array; (* length n+1, CSR row offsets *)
+  col : int array; (* length 2*m, sorted within each row *)
+}
+
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  let check v = if v < 0 || v >= n then invalid_arg "Graph.of_edges: endpoint out of range" in
+  (* Normalise: drop self-loops, orient u < v, dedupe. *)
+  let normalised =
+    List.filter_map
+      (fun (u, v) ->
+        check u;
+        check v;
+        if u = v then None else Some (min u v, max u v))
+      edges
+  in
+  let sorted = List.sort_uniq compare normalised in
+  let m = List.length sorted in
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    sorted;
+  let row = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row.(i + 1) <- row.(i) + deg.(i)
+  done;
+  let col = Array.make (2 * m) 0 in
+  let cursor = Array.copy row in
+  let push u v =
+    col.(cursor.(u)) <- v;
+    cursor.(u) <- cursor.(u) + 1
+  in
+  List.iter
+    (fun (u, v) ->
+      push u v;
+      push v u)
+    sorted;
+  for i = 0 to n - 1 do
+    let lo = row.(i) and hi = row.(i + 1) in
+    let slice = Array.sub col lo (hi - lo) in
+    Array.sort compare slice;
+    Array.blit slice 0 col lo (hi - lo)
+  done;
+  { n; m; row; col }
+
+let n g = g.n
+let m g = g.m
+let degree g v = g.row.(v + 1) - g.row.(v)
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    if degree g v > !best then best := degree g v
+  done;
+  !best
+
+let neighbours g v = Array.sub g.col g.row.(v) (degree g v)
+
+let iter_neighbours g v f =
+  for i = g.row.(v) to g.row.(v + 1) - 1 do
+    f g.col.(i)
+  done
+
+let has_edge g u v =
+  let lo = ref g.row.(u) and hi = ref (g.row.(u + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = g.col.(mid) in
+    if w = v then found := true else if w < v then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    iter_neighbours g u (fun v -> if u < v then f u v)
+  done
+
+let bfs g s =
+  let dist = Array.make g.n (-1) in
+  let queue = Queue.create () in
+  dist.(s) <- 0;
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    iter_neighbours g u (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+  done;
+  dist
+
+let bfs_parents g s =
+  let dist = Array.make g.n (-1) in
+  let parent = Array.make g.n (-1) in
+  let queue = Queue.create () in
+  dist.(s) <- 0;
+  parent.(s) <- s;
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    iter_neighbours g u (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- u;
+          Queue.add v queue
+        end)
+  done;
+  (dist, parent)
+
+let distance g u v = (bfs g u).(v)
+
+let is_connected g =
+  if g.n = 0 then true
+  else begin
+    let dist = bfs g 0 in
+    Array.for_all (fun d -> d >= 0) dist
+  end
+
+let diameter g =
+  if g.n = 0 then -1
+  else begin
+    let best = ref 0 and disconnected = ref false in
+    for s = 0 to g.n - 1 do
+      let dist = bfs g s in
+      Array.iter (fun d -> if d < 0 then disconnected := true else if d > !best then best := d) dist
+    done;
+    if !disconnected then -1 else !best
+  end
+
+let subgraph_respects g edges = List.for_all (fun (u, v) -> has_edge g u v) edges

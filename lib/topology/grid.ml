@@ -1,0 +1,30 @@
+type t = { rows : int; cols : int; graph : Graph.t }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Grid.create";
+  let n = rows * cols in
+  let vertex r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (vertex r c, vertex r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (vertex r c, vertex (r + 1) c) :: !edges
+    done
+  done;
+  { rows; cols; graph = Graph.of_edges ~n !edges }
+
+let rows t = t.rows
+let cols t = t.cols
+let order t = t.rows * t.cols
+let graph t = t.graph
+
+let vertex t ~row ~col =
+  if row < 0 || row >= t.rows || col < 0 || col >= t.cols then invalid_arg "Grid.vertex";
+  (row * t.cols) + col
+
+let row t v = v / t.cols
+let col t v = v mod t.cols
+
+let distance t u v =
+  if u < 0 || v < 0 || u >= order t || v >= order t then invalid_arg "Grid.distance";
+  abs (row t u - row t v) + abs (col t u - col t v)

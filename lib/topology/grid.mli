@@ -1,0 +1,19 @@
+(** Two-dimensional mesh [rows × cols] with 4-neighbour connectivity.
+    Included as a further guest/host topology for context benchmarks. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Raises [Invalid_argument] unless both dimensions are positive. *)
+
+val rows : t -> int
+val cols : t -> int
+val order : t -> int
+val graph : t -> Graph.t
+
+val vertex : t -> row:int -> col:int -> int
+val row : t -> int -> int
+val col : t -> int -> int
+
+val distance : t -> int -> int -> int
+(** Manhattan distance. *)

@@ -1,0 +1,25 @@
+open Xt_prelude
+
+type t = { dim : int; graph : Graph.t }
+
+let create ~dim =
+  if dim < 0 || dim > 24 then invalid_arg "Hypercube.create";
+  let n = Bits.pow2 dim in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for i = 0 to dim - 1 do
+      let w = v lxor (1 lsl i) in
+      if v < w then edges := (v, w) :: !edges
+    done
+  done;
+  { dim; graph = Graph.of_edges ~n !edges }
+
+let dim t = t.dim
+let order t = Graph.n t.graph
+let graph t = t.graph
+
+let distance t u v =
+  if u < 0 || v < 0 || u >= order t || v >= order t then invalid_arg "Hypercube.distance";
+  Bits.hamming u v
+
+let flip v i = v lxor (1 lsl i)

@@ -1,0 +1,21 @@
+(** The hypercube [Q_d]: vertices are the [2{^d}] bit strings of length
+    [d], edges join strings at Hamming distance one. Distances are computed
+    arithmetically, no BFS needed. *)
+
+type t
+
+val create : dim:int -> t
+(** Raises [Invalid_argument] if [dim < 0] or [dim > 24]. *)
+
+val dim : t -> int
+
+val order : t -> int
+(** [2{^dim}]. *)
+
+val graph : t -> Graph.t
+
+val distance : t -> int -> int -> int
+(** Hamming distance between the two vertex labels. *)
+
+val flip : int -> int -> int
+(** [flip v i] toggles bit [i] of [v]. *)

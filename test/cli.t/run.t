@@ -1,0 +1,69 @@
+The CLI drives every pipeline stage; these sessions pin its observable
+behaviour (all commands are deterministic given --seed).
+
+Generate a tree and print its statistics:
+
+  $ xtree generate -f caterpillar -n 20 -s 1
+  family=caterpillar nodes=20 height=13 leaves=7 max-degree=3
+  shape: 0(2(3(5(6(8(9(11(12(14(15(17(18(19,_),_),16),_),13),_),10),_),7),_),4),_),1)
+
+Round-trip a tree through the codec format:
+
+  $ xtree generate -f complete -n 7 -s 1 -o tree.txt
+  family=complete nodes=7 height=2 leaves=4 max-degree=3
+  written to tree.txt
+  $ cat tree.txt
+  (((..)(..))((..)(..)))
+
+Theorem 1 embedding of the paper's exact size for X(3):
+
+  $ xtree embed -f uniform -n 240 -s 7
+  theorem1: dilation=2 avg=0.19 load=16 expansion=0.062 congestion=5
+  host: X(3) with 15 vertices; fallbacks=0
+  condition (3'): 239/239 edges ok; max level gap 2
+
+An embedding read back from a file, with the repair pass:
+
+  $ xtree embed -i tree.txt --repair
+  repair: 0 swaps, (3') violations 0 -> 0, dilation 0 -> 0
+  theorem1: dilation=0 avg=0.00 load=7 expansion=0.143 congestion=0
+  host: X(0) with 1 vertices; fallbacks=0
+  condition (3'): 6/6 edges ok; max level gap 0
+
+Hypercube transfer (Theorem 3):
+
+  $ xtree hypercube -f path -n 240 -s 1
+  theorem3: dilation=2 avg=0.26 load=16 expansion=0.067 congestion=6
+  host: Q_4 with 16 vertices
+
+The Figure 2 neighbourhood:
+
+  $ xtree neighbourhood --height 3 -v 01
+  N(01) in X(3): 10 vertices (paper bound: self + 20)
+    00
+    01
+    10
+    11
+    000
+    001
+    010
+    011
+    100
+    101
+
+Table-free routing:
+
+  $ xtree route --height 5 --from 00000 --to 11111
+  analytic distance: 9 (BFS: 9)
+  route: 00000 -> 0000 -> 000 -> 00 -> 01 -> 10 -> 11 -> 111 -> 1111 -> 11111
+
+Exact optimal dilation of a small guest:
+
+  $ xtree exact -f complete -n 7 --host cube:3
+  optimal injective dilation of complete (n=7): 2
+
+Weight-aware embedding with heterogeneous node costs:
+
+  $ xtree weighted -f uniform -n 1000 -s 1 --budget 128
+  weighted: total=8397 host=X(6) budget=128 max-vertex=128 imbalance=1.91 dilation=4
+  weight-blind theorem1 on the same host: max-vertex=212

@@ -1,0 +1,58 @@
+open Xt_bintree
+open Xt_core
+open Xt_embedding
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let embed_variant options fname r =
+  let rng = Xt_prelude.Rng.make ~seed:(Hashtbl.hash (fname, r)) in
+  let t = (Gen.family fname).generate rng (Theorem1.optimal_size r) in
+  Theorem1.embed ~options t
+
+let test_all_variants_place_everything () =
+  List.iter
+    (fun (vname, options) ->
+      List.iter
+        (fun fname ->
+          let res = embed_variant options fname 4 in
+          checkb
+            (Printf.sprintf "%s/%s placed" vname fname)
+            true
+            (Array.for_all (fun p -> p >= 0) res.Theorem1.embedding.Embedding.place);
+          check (Printf.sprintf "%s/%s load" vname fname) 16 (Embedding.load res.Theorem1.embedding))
+        [ "path"; "uniform" ])
+    Options.variants
+
+let test_adjust_is_the_key_mechanism () =
+  (* disabling ADJUST must hurt: strictly more fallbacks and higher
+     dilation on an unbalanced family at a non-trivial size *)
+  let full = embed_variant Options.default "caterpillar" 6 in
+  let no_adj = embed_variant Options.no_adjust "caterpillar" 6 in
+  let d_full = Embedding.dilation ~dist:(Theorem1.distance_oracle full) full.Theorem1.embedding in
+  let d_no = Embedding.dilation ~dist:(Theorem1.distance_oracle no_adj) no_adj.Theorem1.embedding in
+  checkb
+    (Printf.sprintf "dilation worsens (%d -> %d)" d_full d_no)
+    true (d_no > d_full);
+  checkb
+    (Printf.sprintf "fallbacks grow (%d -> %d)" full.Theorem1.fallbacks no_adj.Theorem1.fallbacks)
+    true
+    (no_adj.Theorem1.fallbacks > full.Theorem1.fallbacks)
+
+let test_balance_split_matters () =
+  let full = embed_variant Options.default "uniform" 6 in
+  let no_bal = embed_variant Options.no_balance "uniform" 6 in
+  checkb "fallbacks grow without the balance split" true
+    (no_bal.Theorem1.fallbacks >= full.Theorem1.fallbacks)
+
+let test_variants_list () =
+  check "4 variants" 4 (List.length Options.variants);
+  checkb "full first" true (fst (List.hd Options.variants) = "full")
+
+let suite =
+  [
+    ("all variants place everything", `Quick, test_all_variants_place_everything);
+    ("adjust is the key mechanism", `Slow, test_adjust_is_the_key_mechanism);
+    ("balance split matters", `Quick, test_balance_split_matters);
+    ("variants list", `Quick, test_variants_list);
+  ]

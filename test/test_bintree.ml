@@ -1,0 +1,226 @@
+open Xt_bintree
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let ok_tree t =
+  match Bintree.check t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invalid tree: %s" msg
+
+(* ---------------- Builder / structure ---------------- *)
+
+let test_builder () =
+  let b = Bintree.Builder.create () in
+  let root = Bintree.Builder.add_root b in
+  let l = Bintree.Builder.add_left b root in
+  let r = Bintree.Builder.add_right b root in
+  let ll = Bintree.Builder.add_left b l in
+  let t = Bintree.Builder.finish b in
+  ok_tree t;
+  check "n" 4 (Bintree.n t);
+  check "root" root (Bintree.root t);
+  Alcotest.(check (option int)) "left" (Some l) (Bintree.left t root);
+  Alcotest.(check (option int)) "right" (Some r) (Bintree.right t root);
+  Alcotest.(check (option int)) "parent" (Some l) (Bintree.parent t ll);
+  Alcotest.(check (list int)) "children" [ l; r ] (Bintree.children t root);
+  checkb "leaf" true (Bintree.is_leaf t r);
+  checkb "not leaf" false (Bintree.is_leaf t l);
+  check "degree root" 2 (Bintree.degree t root);
+  check "degree l" 2 (Bintree.degree t l);
+  check "edges" 3 (List.length (Bintree.edges t))
+
+let test_builder_errors () =
+  let b = Bintree.Builder.create () in
+  let root = Bintree.Builder.add_root b in
+  ignore (Bintree.Builder.add_left b root);
+  Alcotest.check_raises "occupied" (Invalid_argument "Bintree.Builder.add_left: occupied")
+    (fun () -> ignore (Bintree.Builder.add_left b root));
+  Alcotest.check_raises "double root" (Invalid_argument "Bintree.Builder.add_root: root exists")
+    (fun () -> ignore (Bintree.Builder.add_root b))
+
+let test_of_arrays_rejects () =
+  (* 1 is nobody's child *)
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Bintree.of_arrays ~root:0 ~parent:[| -1; 0 |] ~left:[| -1; -1 |] ~right:[| -1; -1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_traversals () =
+  (* tree: 0(1(3,_),2) in heap shape *)
+  let t = Gen.complete 4 in
+  Alcotest.(check (list int)) "preorder" [ 0; 1; 3; 2 ] (Bintree.preorder t);
+  Alcotest.(check (list int)) "postorder" [ 3; 1; 2; 0 ] (Bintree.postorder t);
+  check "fold count" 4 (Bintree.fold_preorder t ~init:0 ~f:(fun acc _ -> acc + 1))
+
+let test_depth_sizes () =
+  let t = Gen.complete 7 in
+  let d = Bintree.depth t in
+  check "root depth" 0 d.(0);
+  check "leaf depth" 2 d.(6);
+  let s = Bintree.subtree_sizes t in
+  check "root size" 7 s.(0);
+  check "internal size" 3 s.(1);
+  check "leaf size" 1 s.(5);
+  check "height" 2 (Bintree.height t)
+
+let test_stats () =
+  let t = Gen.complete 7 in
+  let s = Bintree.stats t in
+  check "size" 7 s.Bintree.size;
+  check "height" 2 s.Bintree.height;
+  check "leaves" 4 s.Bintree.leaves;
+  check "max degree" 3 s.Bintree.max_degree
+
+(* ---------------- Generators ---------------- *)
+
+let test_generator_sizes () =
+  let rng = Xt_prelude.Rng.make ~seed:42 in
+  List.iter
+    (fun (f : Gen.family) ->
+      List.iter
+        (fun n ->
+          let t = f.generate rng n in
+          ok_tree t;
+          check (Printf.sprintf "%s size %d" f.name n) n (Bintree.n t))
+        [ 1; 2; 3; 7; 10; 64; 100 ])
+    Gen.families
+
+let test_path_shape () =
+  let t = Gen.path 10 in
+  check "height" 9 (Bintree.height t);
+  check "leaves" 1 (Bintree.stats t).Bintree.leaves
+
+let test_zigzag_shape () =
+  let t = Gen.zigzag 10 in
+  check "height" 9 (Bintree.height t)
+
+let test_complete_shape () =
+  let t = Gen.complete 15 in
+  check "height" 3 (Bintree.height t);
+  check "leaves" 8 (Bintree.stats t).Bintree.leaves
+
+let test_caterpillar_has_legs () =
+  let t = Gen.caterpillar 20 in
+  let stats = Bintree.stats t in
+  checkb "taller than balanced" true (stats.Bintree.height > 8);
+  checkb "has legs" true (stats.Bintree.leaves > 1)
+
+let test_broom () =
+  let t = Gen.broom 32 in
+  ok_tree t;
+  checkb "has bushy head" true ((Bintree.stats t).Bintree.leaves >= 8)
+
+let test_fibonacci_exact_n () =
+  List.iter
+    (fun n -> check "size" n (Bintree.n (Gen.fibonacci n)))
+    [ 1; 2; 4; 7; 12; 20; 33; 50 ]
+
+let test_uniform_distribution_sane () =
+  (* all 5 shapes of 3-node binary trees occur in 500 draws *)
+  let rng = Xt_prelude.Rng.make ~seed:5 in
+  let shapes = Hashtbl.create 8 in
+  for _ = 1 to 500 do
+    let t = Gen.uniform rng 3 in
+    let sig_ = Format.asprintf "%a" Bintree.pp t in
+    Hashtbl.replace shapes sig_ (1 + Option.value ~default:0 (Hashtbl.find_opt shapes sig_))
+  done;
+  check "catalan(3) = 5 shapes" 5 (Hashtbl.length shapes);
+  (* uniform: each shape should get roughly 100 of 500 *)
+  Hashtbl.iter (fun _ c -> checkb "roughly uniform" true (c > 50 && c < 170)) shapes
+
+let test_random_bst_log_height () =
+  let rng = Xt_prelude.Rng.make ~seed:17 in
+  let t = Gen.random_bst rng 1024 in
+  checkb "height O(log n)" true (Bintree.height t < 60)
+
+let test_skewed_deeper_than_random () =
+  let rng = Xt_prelude.Rng.make ~seed:23 in
+  let sk = Gen.skewed_grow rng ~bias:0.95 512 in
+  let rd = Gen.random_grow rng 512 in
+  checkb "skewed is deeper" true (Bintree.height sk > Bintree.height rd)
+
+let test_family_lookup () =
+  checkb "found" true ((Gen.family "uniform").name = "uniform");
+  Alcotest.check_raises "missing" Not_found (fun () -> ignore (Gen.family "nope"))
+
+(* qcheck: structural invariants over uniform random trees *)
+let qcheck_tests =
+  let gen_tree =
+    QCheck2.Gen.(
+      map
+        (fun (seed, n) ->
+          let rng = Xt_prelude.Rng.make ~seed in
+          Gen.uniform rng (n + 1))
+        (pair (int_bound 1_000_000) (int_bound 300)))
+  in
+  [
+    QCheck2.Test.make ~count:100 ~name:"uniform trees validate" gen_tree (fun t ->
+        match Bintree.check t with Ok () -> true | Error _ -> false);
+    QCheck2.Test.make ~count:100 ~name:"edges = n - 1" gen_tree (fun t ->
+        List.length (Bintree.edges t) = Bintree.n t - 1);
+    QCheck2.Test.make ~count:100 ~name:"max degree <= 3" gen_tree (fun t ->
+        (Bintree.stats t).Bintree.max_degree <= 3);
+    QCheck2.Test.make ~count:100 ~name:"preorder is a permutation" gen_tree (fun t ->
+        let p = List.sort compare (Bintree.preorder t) in
+        p = List.init (Bintree.n t) Fun.id);
+    QCheck2.Test.make ~count:100 ~name:"postorder is a permutation" gen_tree (fun t ->
+        let p = List.sort compare (Bintree.postorder t) in
+        p = List.init (Bintree.n t) Fun.id);
+    QCheck2.Test.make ~count:100 ~name:"subtree sizes consistent" gen_tree (fun t ->
+        let s = Bintree.subtree_sizes t in
+        s.(Bintree.root t) = Bintree.n t
+        && Array.for_all (fun x -> x >= 1) s);
+    QCheck2.Test.make ~count:100 ~name:"depth consistent with parent" gen_tree (fun t ->
+        let d = Bintree.depth t in
+        List.for_all (fun (u, v) -> d.(v) = d.(u) + 1) (Bintree.edges t));
+  ]
+
+let suite =
+  [
+    ("builder", `Quick, test_builder);
+    ("builder errors", `Quick, test_builder_errors);
+    ("of_arrays rejects", `Quick, test_of_arrays_rejects);
+    ("traversals", `Quick, test_traversals);
+    ("depth and sizes", `Quick, test_depth_sizes);
+    ("stats", `Quick, test_stats);
+    ("generator sizes", `Quick, test_generator_sizes);
+    ("path shape", `Quick, test_path_shape);
+    ("zigzag shape", `Quick, test_zigzag_shape);
+    ("complete shape", `Quick, test_complete_shape);
+    ("caterpillar legs", `Quick, test_caterpillar_has_legs);
+    ("broom", `Quick, test_broom);
+    ("fibonacci exact n", `Quick, test_fibonacci_exact_n);
+    ("uniform shapes", `Quick, test_uniform_distribution_sane);
+    ("random bst height", `Quick, test_random_bst_log_height);
+    ("skewed deeper", `Quick, test_skewed_deeper_than_random);
+    ("family lookup", `Quick, test_family_lookup);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
+
+(* Every generator family yields valid trees of the requested size, for
+   random sizes — not just the fixed sizes of test_generator_sizes. *)
+let family_qcheck =
+  let gen_case =
+    QCheck2.Gen.(
+      let families = Array.of_list Gen.families in
+      let* fi = int_bound (Array.length families - 1) in
+      let* n = map (fun k -> k + 1) (int_bound 400) in
+      let* seed = int_bound 1_000_000 in
+      return (families.(fi), n, seed))
+  in
+  let print_case ((f : Gen.family), n, seed) = Printf.sprintf "%s n=%d seed=%d" f.name n seed in
+  [
+    QCheck2.Test.make ~count:200 ~name:"all families: valid tree of exact size" ~print:print_case
+      gen_case (fun (f, n, seed) ->
+        let t = f.generate (Xt_prelude.Rng.make ~seed) n in
+        Bintree.n t = n && Bintree.check t = Ok ());
+    QCheck2.Test.make ~count:200 ~name:"all families: height < n" ~print:print_case gen_case
+      (fun (f, n, seed) ->
+        let t = f.generate (Xt_prelude.Rng.make ~seed) n in
+        Bintree.height t < n);
+  ]
+
+let suite = suite @ List.map (QCheck_alcotest.to_alcotest ~long:false) family_qcheck

@@ -1,0 +1,127 @@
+open Xt_bintree
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_single_node () =
+  Alcotest.(check string) "print" "(..)" (Codec.to_string (Gen.complete 1));
+  match Codec.of_string "(..)" with
+  | Ok t -> check "size" 1 (Bintree.n t)
+  | Error e -> Alcotest.fail e
+
+let test_small_shapes () =
+  (* root with left leaf only *)
+  let t = Gen.path 2 in
+  Alcotest.(check string) "left leaf" "((..).)" (Codec.to_string t);
+  (* complete 3 *)
+  Alcotest.(check string) "two leaves" "((..)(..))" (Codec.to_string (Gen.complete 3))
+
+let test_whitespace_tolerated () =
+  match Codec.of_string " ( ( . . )\n . )\t" with
+  | Ok t -> check "size" 2 (Bintree.n t)
+  | Error e -> Alcotest.fail e
+
+let shape_signature t = Codec.to_string t
+
+let test_roundtrip_families () =
+  let rng = Xt_prelude.Rng.make ~seed:4 in
+  List.iter
+    (fun (f : Gen.family) ->
+      let t = f.generate rng 300 in
+      match Codec.of_string (Codec.to_string t) with
+      | Ok t' ->
+          check (f.name ^ " size") (Bintree.n t) (Bintree.n t');
+          Alcotest.(check string) (f.name ^ " shape") (shape_signature t) (shape_signature t')
+      | Error e -> Alcotest.failf "%s: %s" f.name e)
+    Gen.families
+
+let test_deep_path_no_overflow () =
+  let t = Gen.path 200_000 in
+  match Codec.of_string (Codec.to_string t) with
+  | Ok t' -> check "size" 200_000 (Bintree.n t')
+  | Error e -> Alcotest.fail e
+
+let test_errors () =
+  let bad input =
+    match Codec.of_string input with
+    | Ok _ -> Alcotest.failf "%S should not parse" input
+    | Error _ -> ()
+  in
+  bad "";
+  bad "(";
+  bad ")";
+  bad "(.)";
+  bad "(...)";
+  bad "(..)(..)";
+  bad "(..)x";
+  bad "((..)";
+  bad "x"
+
+let test_right_only_child () =
+  (* a root whose single child is on the right: (.(..)) *)
+  match Codec.of_string "(.(..))" with
+  | Ok t ->
+      check "size" 2 (Bintree.n t);
+      Alcotest.(check (option int)) "no left" None (Bintree.left t (Bintree.root t));
+      checkb "has right" true (Bintree.right t (Bintree.root t) <> None);
+      Alcotest.(check string) "reprints" "(.(..))" (Codec.to_string t)
+  | Error e -> Alcotest.fail e
+
+let qcheck_tests =
+  let gen_tree =
+    QCheck2.Gen.(
+      map
+        (fun (seed, n) ->
+          let rng = Xt_prelude.Rng.make ~seed in
+          Gen.uniform rng (n + 1))
+        (pair (int_bound 1_000_000) (int_bound 300)))
+  in
+  [
+    QCheck2.Test.make ~count:200 ~name:"codec roundtrip preserves shape" gen_tree (fun t ->
+        match Codec.of_string (Codec.to_string t) with
+        | Ok t' -> Codec.to_string t' = Codec.to_string t && Bintree.n t' = Bintree.n t
+        | Error _ -> false);
+    QCheck2.Test.make ~count:200 ~name:"codec output is balanced" gen_tree (fun t ->
+        let s = Codec.to_string t in
+        let depth = ref 0 and ok = ref true in
+        String.iter
+          (fun c ->
+            match c with
+            | '(' -> incr depth
+            | ')' ->
+                decr depth;
+                if !depth < 0 then ok := false
+            | _ -> ())
+          s;
+        !ok && !depth = 0);
+  ]
+
+let suite =
+  [
+    ("single node", `Quick, test_single_node);
+    ("small shapes", `Quick, test_small_shapes);
+    ("whitespace tolerated", `Quick, test_whitespace_tolerated);
+    ("roundtrip families", `Quick, test_roundtrip_families);
+    ("deep path no overflow", `Quick, test_deep_path_no_overflow);
+    ("errors", `Quick, test_errors);
+    ("right-only child", `Quick, test_right_only_child);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
+
+(* Fuzz: the parser must never raise on arbitrary input, only Ok/Error. *)
+let fuzz_tests =
+  let gen_junk =
+    QCheck2.Gen.(
+      let* len = int_bound 60 in
+      let* chars = list_size (return len) (oneofl [ '('; ')'; '.'; ' '; 'x'; '\n' ]) in
+      return (String.init (List.length chars) (List.nth chars)))
+  in
+  [
+    QCheck2.Test.make ~count:500 ~name:"codec parser is total" ~print:(fun s -> String.escaped s)
+      gen_junk (fun s ->
+        match Codec.of_string s with
+        | Ok t -> Bintree.check t = Ok ()
+        | Error _ -> true);
+  ]
+
+let suite = suite @ List.map (QCheck_alcotest.to_alcotest ~long:false) fuzz_tests

@@ -1,0 +1,142 @@
+open Xt_prelude
+open Xt_topology
+open Xt_bintree
+open Xt_core
+open Xt_embedding
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ---------------- Heap ---------------- *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h ~key:k (k * 10)) [ 5; 1; 4; 2; 3 ];
+  check "size" 5 (Heap.size h);
+  let popped = List.init 5 (fun _ -> Heap.pop_min h) in
+  Alcotest.(check (list (option (pair int int))))
+    "sorted"
+    [ Some (1, 10); Some (2, 20); Some (3, 30); Some (4, 40); Some (5, 50) ]
+    popped;
+  checkb "empty" true (Heap.is_empty h);
+  Alcotest.(check (option (pair int int))) "pop empty" None (Heap.pop_min h)
+
+let test_heap_duplicates_and_peek () =
+  let h = Heap.create () in
+  Heap.push h ~key:7 "a";
+  Heap.push h ~key:7 "b";
+  Heap.push h ~key:3 "c";
+  Alcotest.(check (option (pair int string))) "peek" (Some (3, "c")) (Heap.peek_min h);
+  ignore (Heap.pop_min h);
+  let k1 = Option.map fst (Heap.pop_min h) and k2 = Option.map fst (Heap.pop_min h) in
+  Alcotest.(check (option int)) "dup key 1" (Some 7) k1;
+  Alcotest.(check (option int)) "dup key 2" (Some 7) k2
+
+let test_heap_random () =
+  let rng = Rng.make ~seed:44 in
+  let h = Heap.create () in
+  let keys = List.init 500 (fun _ -> Rng.int rng 10_000) in
+  List.iter (fun k -> Heap.push h ~key:k k) keys;
+  let rec drain acc = match Heap.pop_min h with None -> List.rev acc | Some (k, _) -> drain (k :: acc) in
+  let drained = drain [] in
+  Alcotest.(check (list int)) "heap sorts" (List.sort compare keys) drained
+
+(* ---------------- Congestion ---------------- *)
+
+let embedding_for fname r =
+  let tree = (Gen.family fname).generate (Rng.make ~seed:12) (Theorem1.optimal_size r) in
+  (Theorem1.embed tree).Theorem1.embedding
+
+let test_baseline_matches_embedding_congestion () =
+  let e = embedding_for "uniform" 4 in
+  check "same accounting" (Embedding.congestion e) (Congestion.baseline e).Congestion.congestion
+
+let test_route_never_worse () =
+  List.iter
+    (fun fname ->
+      let e = embedding_for fname 5 in
+      let base = Congestion.baseline e in
+      let smart = Congestion.route e in
+      checkb (fname ^ " congestion <= baseline") true
+        (smart.Congestion.congestion <= base.Congestion.congestion))
+    [ "caterpillar"; "uniform"; "complete"; "path" ]
+
+let test_route_detour_bounded () =
+  let e = embedding_for "caterpillar" 5 in
+  let dil = Embedding.dilation e in
+  let smart = Congestion.route e in
+  checkb "maxlen <= dilation + 4" true (smart.Congestion.max_route_length <= dil + 4)
+
+let test_route_total_length_sane () =
+  let e = embedding_for "uniform" 4 in
+  let base = Congestion.baseline e in
+  let smart = Congestion.route e in
+  (* smart routes are never shorter in total than shortest paths *)
+  checkb "total >= baseline" true
+    (smart.Congestion.total_route_length >= base.Congestion.total_route_length)
+
+let test_collapsed_embedding_routes () =
+  (* everything on one vertex: no demands at all *)
+  let tree = Gen.complete 7 in
+  let host = Graph.of_edges ~n:2 [ (0, 1) ] in
+  let e = Embedding.make ~tree ~host ~place:(Array.make 7 0) in
+  let r = Congestion.route e in
+  check "no congestion" 0 r.Congestion.congestion;
+  check "no routes" 0 r.Congestion.total_route_length
+
+(* ---------------- Enum ---------------- *)
+
+let test_catalan_values () =
+  Alcotest.(check (list int)) "catalan 0..8"
+    [ 1; 1; 2; 5; 14; 42; 132; 429; 1430 ]
+    (List.map Enum.catalan [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ])
+
+let test_enumeration_counts () =
+  List.iter (fun n -> check (Printf.sprintf "n=%d" n) (Enum.catalan n) (Enum.count_shapes n)) [ 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_enumeration_distinct_and_valid () =
+  let seen = Hashtbl.create 64 in
+  Seq.iter
+    (fun t ->
+      checkb "valid" true (Bintree.check t = Ok ());
+      check "size" 6 (Bintree.n t);
+      let sig_ = Codec.to_string t in
+      checkb "distinct" true (not (Hashtbl.mem seen sig_));
+      Hashtbl.replace seen sig_ ())
+    (Enum.all_shapes 6);
+  check "all there" 132 (Hashtbl.length seen)
+
+let test_enumeration_guard () =
+  checkb "guard" true
+    (try
+       let (_ : Bintree.t Seq.t) = Enum.all_shapes 19 in
+       false
+     with Invalid_argument _ -> true)
+
+(* exhaustive Theorem 1 over every 6-node tree at capacity 2 *)
+let test_exhaustive_tiny_theorem1 () =
+  Seq.iter
+    (fun tree ->
+      let res = Theorem1.embed ~capacity:2 tree in
+      checkb "placed" true (Array.for_all (fun p -> p >= 0) res.Theorem1.embedding.Embedding.place);
+      checkb "load" true (Embedding.load res.Theorem1.embedding <= 2);
+      checkb "dilation" true
+        (Embedding.dilation ~dist:(Theorem1.distance_oracle res) res.Theorem1.embedding <= 3))
+    (Enum.all_shapes 6)
+
+let suite =
+  [
+    ("heap ordering", `Quick, test_heap_ordering);
+    ("heap duplicates and peek", `Quick, test_heap_duplicates_and_peek);
+    ("heap random", `Quick, test_heap_random);
+    ("baseline = embedding congestion", `Quick, test_baseline_matches_embedding_congestion);
+    ("route never worse", `Quick, test_route_never_worse);
+    ("route detour bounded", `Quick, test_route_detour_bounded);
+    ("route total length sane", `Quick, test_route_total_length_sane);
+    ("collapsed embedding routes", `Quick, test_collapsed_embedding_routes);
+    ("catalan values", `Quick, test_catalan_values);
+    ("enumeration counts", `Quick, test_enumeration_counts);
+    ("enumeration distinct/valid", `Quick, test_enumeration_distinct_and_valid);
+    ("enumeration guard", `Quick, test_enumeration_guard);
+    ("exhaustive tiny theorem1", `Slow, test_exhaustive_tiny_theorem1);
+  ]

@@ -1,0 +1,88 @@
+open Xt_topology
+open Xt_bintree
+open Xt_embedding
+open Xt_core
+
+let checkb = Alcotest.(check bool)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+let count_lines_with s sub =
+  String.split_on_char '\n' s |> List.filter (fun l -> contains l sub) |> List.length
+
+let test_plain_graph () =
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let dot = Dot.graph g in
+  checkb "header" true (contains dot "graph g {");
+  Alcotest.(check int) "edges" 2 (count_lines_with dot " -- ");
+  checkb "closes" true (contains dot "}")
+
+let test_graph_custom_label () =
+  let g = Graph.of_edges ~n:2 [ (0, 1) ] in
+  let dot = Dot.graph ~name:"demo" ~label:(fun v -> Printf.sprintf "v%d!" v) g in
+  checkb "name" true (contains dot "graph demo {");
+  checkb "label" true (contains dot "v1!")
+
+let test_xtree_dot () =
+  let xt = Xtree.create ~height:2 in
+  let dot = Dot.xtree xt in
+  checkb "root label" true (contains dot "\"e\"");
+  checkb "leaf label" true (contains dot "\"11\"");
+  (* horizontal edges are dotted *)
+  checkb "dotted horizontals" true (contains dot "style=dotted");
+  Alcotest.(check int) "rank groups" 3 (count_lines_with dot "rank=same");
+  Alcotest.(check int) "edge count" (Graph.m (Xtree.graph xt)) (count_lines_with dot " -- ")
+
+let test_embedding_dot () =
+  let tree = Gen.uniform (Xt_prelude.Rng.make ~seed:5) 240 in
+  let res = Theorem1.embed tree in
+  let dot = Dot.embedding res.Theorem1.xt res.Theorem1.embedding in
+  checkb "has guest sets" true (contains dot "{0,");
+  checkb "has cross edges" true (contains dot "style=dashed");
+  checkb "truncation marker" true (contains dot ",...")
+
+let test_embedding_dot_valid_syntaxish () =
+  (* cheap syntactic sanity: braces balance *)
+  let tree = Gen.complete 48 in
+  let res = Theorem1.embed tree in
+  let dot = Dot.embedding res.Theorem1.xt res.Theorem1.embedding in
+  let opens = count_lines_with dot "{" and closes = count_lines_with dot "}" in
+  checkb "balanced-ish" true (opens > 0 && closes > 0)
+
+let suite =
+  [
+    ("plain graph", `Quick, test_plain_graph);
+    ("custom label", `Quick, test_graph_custom_label);
+    ("xtree dot", `Quick, test_xtree_dot);
+    ("embedding dot", `Quick, test_embedding_dot);
+    ("embedding dot sane", `Quick, test_embedding_dot_valid_syntaxish);
+  ]
+
+(* ---------------- SVG ---------------- *)
+
+let test_svg_xtree () =
+  let xt = Xtree.create ~height:2 in
+  let svg = Svg.xtree xt in
+  checkb "svg header" true (contains svg "<svg xmlns");
+  checkb "has circles" true (contains svg "<circle");
+  checkb "root label" true (contains svg ">e<");
+  checkb "closes" true (contains svg "</svg>");
+  Alcotest.(check int) "circle per vertex" (Xtree.order xt) (count_lines_with svg "<circle")
+
+let test_svg_embedding () =
+  let tree = Gen.uniform (Xt_prelude.Rng.make ~seed:9) 240 in
+  let res = Theorem1.embed tree in
+  let svg = Svg.embedding res.Theorem1.xt res.Theorem1.embedding in
+  checkb "has loads" true (contains svg ">16<");
+  checkb "has fills" true (contains svg "rgb(");
+  Alcotest.(check int) "circle per vertex" (Xtree.order res.Theorem1.xt) (count_lines_with svg "<circle")
+
+let suite =
+  suite
+  @ [
+      ("svg xtree", `Quick, test_svg_xtree);
+      ("svg embedding", `Quick, test_svg_embedding);
+    ]

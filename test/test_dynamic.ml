@@ -1,0 +1,96 @@
+open Xt_core
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_create () =
+  let d = Dynamic.create () in
+  check "size" 1 (Dynamic.size d);
+  check "root placed at xtree root" 0 (Dynamic.place d (Dynamic.root d));
+  check "host X(0)" 0 (Dynamic.host_height d);
+  check "dilation" 0 (Dynamic.dilation d)
+
+let test_add_children () =
+  let d = Dynamic.create () in
+  let a = Dynamic.add_child d ~parent:(Dynamic.root d) in
+  let b = Dynamic.add_child d ~parent:(Dynamic.root d) in
+  check "size" 3 (Dynamic.size d);
+  checkb "distinct" true (a <> b);
+  Alcotest.check_raises "third child" (Invalid_argument "Dynamic.add_child: parent full")
+    (fun () -> ignore (Dynamic.add_child d ~parent:(Dynamic.root d)))
+
+let test_parent_colocation () =
+  (* with capacity 16 the first children share the root vertex *)
+  let d = Dynamic.create () in
+  let a = Dynamic.add_child d ~parent:(Dynamic.root d) in
+  check "same vertex as parent" (Dynamic.place d (Dynamic.root d)) (Dynamic.place d a)
+
+let test_host_grows () =
+  let d = Dynamic.create ~capacity:2 () in
+  (* capacity 2, X(0) holds 2; adding a second node fills it, a third
+     forces growth *)
+  let a = Dynamic.add_child d ~parent:(Dynamic.root d) in
+  check "still X(0)" 0 (Dynamic.host_height d);
+  let _ = Dynamic.add_child d ~parent:a in
+  checkb "grew" true (Dynamic.host_height d >= 1);
+  checkb "load bound kept" true (Dynamic.load d <= 2)
+
+let test_load_never_exceeds_capacity () =
+  let rng = Xt_prelude.Rng.make ~seed:12 in
+  let d = Dynamic.create () in
+  let slots = ref [ Dynamic.root d; Dynamic.root d ] in
+  for _ = 1 to 500 do
+    let idx = Xt_prelude.Rng.int rng (List.length !slots) in
+    let parent = List.nth !slots idx in
+    match Dynamic.add_child d ~parent with
+    | v -> slots := v :: v :: List.filteri (fun i _ -> i <> idx) !slots
+    | exception Invalid_argument _ ->
+        slots := List.filteri (fun i _ -> i <> idx) !slots
+  done;
+  checkb "load <= 16" true (Dynamic.load d <= 16)
+
+let test_snapshot_roundtrip () =
+  let d = Dynamic.create () in
+  let a = Dynamic.add_child d ~parent:(Dynamic.root d) in
+  let _ = Dynamic.add_child d ~parent:a in
+  let t = Dynamic.to_tree d in
+  checkb "valid tree" true (Xt_bintree.Bintree.check t = Ok ());
+  check "size matches" (Dynamic.size d) (Xt_bintree.Bintree.n t);
+  let e = Dynamic.to_embedding d in
+  check "embedding guest size" 3 (Xt_embedding.Embedding.guest_size e)
+
+let test_rebuild_restores_quality () =
+  let rng = Xt_prelude.Rng.make ~seed:31 in
+  let d = Dynamic.create () in
+  let slots = ref [ Dynamic.root d; Dynamic.root d ] in
+  for _ = 1 to 2000 do
+    let idx = Xt_prelude.Rng.int rng (List.length !slots) in
+    let parent = List.nth !slots idx in
+    match Dynamic.add_child d ~parent with
+    | v -> slots := v :: v :: List.filteri (fun i _ -> i <> idx) !slots
+    | exception Invalid_argument _ -> slots := List.filteri (fun i _ -> i <> idx) !slots
+  done;
+  let before = Dynamic.dilation d in
+  Dynamic.rebuild d;
+  let after = Dynamic.dilation d in
+  checkb (Printf.sprintf "rebuild improves (%d -> %d)" before after) true (after <= before);
+  checkb "rebuild reaches paper bound" true (after <= 4);
+  checkb "load still fine" true (Dynamic.load d <= 16);
+  check "size unchanged" 2001 (Dynamic.size d)
+
+let test_invalid_parent () =
+  let d = Dynamic.create () in
+  Alcotest.check_raises "no such parent" (Invalid_argument "Dynamic.add_child: no such parent")
+    (fun () -> ignore (Dynamic.add_child d ~parent:42))
+
+let suite =
+  [
+    ("create", `Quick, test_create);
+    ("add children", `Quick, test_add_children);
+    ("parent colocation", `Quick, test_parent_colocation);
+    ("host grows", `Quick, test_host_grows);
+    ("load never exceeds capacity", `Quick, test_load_never_exceeds_capacity);
+    ("snapshot roundtrip", `Quick, test_snapshot_roundtrip);
+    ("rebuild restores quality", `Slow, test_rebuild_restores_quality);
+    ("invalid parent", `Quick, test_invalid_parent);
+  ]

@@ -1,0 +1,149 @@
+(* White-box tests for the core machinery: hand-built states driven
+   through Moves / Adjust / Split directly, with the intermediate
+   invariants asserted (the black-box pipeline tests live in
+   test_core.ml). *)
+
+open Xt_bintree
+open Xt_core
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* A state over a path guest with the first [k] nodes laid at the root. *)
+let path_state ~n ~height ~capacity ~rooted =
+  let tree = Gen.path n in
+  let st = State.create ~tree ~height ~capacity in
+  for v = 0 to rooted - 1 do
+    State.lay st ~max_level:0 ~node:v ~vertex:0
+  done;
+  (tree, st)
+
+let range lo hi = List.init (hi - lo + 1) (fun i -> lo + i)
+
+let test_clamp_vertex () =
+  let _, st = path_state ~n:40 ~height:2 ~capacity:16 ~rooted:16 in
+  (* make the left grandchild branch heavier *)
+  let p = State.make_piece st (range 16 25) in
+  State.attach st ~vertex:3 p;
+  (* clamping the root to floor 1 goes to the lighter child (vertex 2) *)
+  check "clamps to lighter child" 2 (Moves.clamp_vertex st ~floor_level:1 0);
+  (* vertices already at the floor stay put *)
+  check "at floor" 1 (Moves.clamp_vertex st ~floor_level:1 1);
+  check "below floor stays" 3 (Moves.clamp_vertex st ~floor_level:1 3)
+
+let test_adjust_balances_hand_built_imbalance () =
+  let _, st = path_state ~n:100 ~height:2 ~capacity:16 ~rooted:16 in
+  (* the whole 84-node residual hangs on the left child *)
+  let piece = State.make_piece st (range 16 99) in
+  check "one boundary" 1 (List.length piece.State.bounds);
+  State.attach st ~vertex:1 piece;
+  check "left heavy" 84 (State.weight_of st 1);
+  check "right empty" 0 (State.weight_of st 2);
+  Adjust.run st ~round:2 ~a:0;
+  let w1 = State.weight_of st 1 and w2 = State.weight_of st 2 in
+  check "nothing lost" 84 (w1 + w2);
+  checkb
+    (Printf.sprintf "balanced (%d vs %d)" w1 w2)
+    true
+    (abs (w1 - w2) <= 2 * (((84 / 2) + 4) / 9));
+  (* separator nodes went to the two horizontally adjacent new leaves,
+     at most 4 each (the ADJUST budget) *)
+  checkb "donor-side layout within budget" true (st.State.occ.(4) <= 4);
+  checkb "receiver-side layout within budget" true (st.State.occ.(5) <= 4);
+  match State.check_invariants st with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariants: %s" e
+
+let test_adjust_noop_when_balanced () =
+  let _, st = path_state ~n:48 ~height:2 ~capacity:16 ~rooted:16 in
+  let left = State.make_piece st (range 16 31) in
+  State.attach st ~vertex:1 left;
+  (* a second piece of the same size on the right; its boundary node is
+     16's neighbour so build it from the path tail *)
+  let right = State.make_piece st (range 32 47) in
+  State.attach st ~vertex:2 right;
+  (* the right piece's boundary anchors inside the left piece region, but
+     weights are what ADJUST reads *)
+  Adjust.run st ~round:2 ~a:0;
+  check "left unchanged" 16 (State.weight_of st 1);
+  check "right unchanged" 16 (State.weight_of st 2);
+  check "nothing laid by adjust" 16 st.State.placed
+
+let test_split_distributes_and_fills () =
+  let _, st = path_state ~n:100 ~height:2 ~capacity:16 ~rooted:16 in
+  let piece = State.make_piece st (range 16 99) in
+  State.attach st ~vertex:0 piece;
+  Split.run st ~round:1 ~alpha:0;
+  (* the root's attachment list is drained *)
+  check "root drained" 0 (List.length (State.pieces_at st 0));
+  (* both children are filled to capacity *)
+  check "left full" 16 st.State.occ.(1);
+  check "right full" 16 st.State.occ.(2);
+  (* and the leftover weight is split roughly in half *)
+  let w1 = State.weight_of st 1 and w2 = State.weight_of st 2 in
+  check "all weight below" 84 (w1 + w2);
+  checkb (Printf.sprintf "halved (%d vs %d)" w1 w2) true (abs (w1 - w2) <= 14);
+  match State.check_invariants st with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariants: %s" e
+
+let test_split_lays_old_anchored_bounds () =
+  (* a piece anchored two levels up MUST have its boundary node laid *)
+  let _, st = path_state ~n:60 ~height:2 ~capacity:16 ~rooted:16 in
+  let piece = State.make_piece st (range 16 59) in
+  (* attach it directly at level-1 vertex 1, anchor stays at the root *)
+  State.attach st ~vertex:1 piece;
+  Split.run st ~round:2 ~alpha:1;
+  (* boundary node 16 is now placed (its anchor was at level 0 = i-2) *)
+  checkb "boundary node laid" true (st.State.place.(16) >= 0);
+  check "vertex 1 drained" 0 (List.length (State.pieces_at st 1))
+
+let test_split_respects_capacity () =
+  let _, st = path_state ~n:100 ~height:2 ~capacity:16 ~rooted:16 in
+  let piece = State.make_piece st (range 16 99) in
+  State.attach st ~vertex:0 piece;
+  Split.run st ~round:1 ~alpha:0;
+  Array.iter (fun o -> checkb "occupancy bound" true (o <= 16)) st.State.occ
+
+let test_reattach_components_by_anchor () =
+  let tree = Gen.complete 31 in
+  let st = State.create ~tree ~height:2 ~capacity:16 in
+  (* lay the root at X-tree vertex 1 so components anchor there *)
+  State.lay st ~max_level:1 ~node:0 ~vertex:1;
+  (* nodes 1,2 are the root's children: two separate components *)
+  Moves.reattach st ~floor_level:1 ~fallback:2 [ 1; 2 ];
+  check "two pieces at anchor" 2 (List.length (State.pieces_at st 1));
+  check "none at fallback" 0 (List.length (State.pieces_at st 2))
+
+let test_reattach_to_explicit_vertex () =
+  let tree = Gen.complete 31 in
+  let st = State.create ~tree ~height:2 ~capacity:16 in
+  State.lay st ~max_level:1 ~node:0 ~vertex:1;
+  Moves.reattach_to st ~vertex:2 [ 1; 2 ];
+  check "both pieces at explicit vertex" 2 (List.length (State.pieces_at st 2));
+  check "weight follows" 2 (State.weight_of st 2)
+
+let test_move_whole_lays_designated () =
+  let _, st = path_state ~n:40 ~height:2 ~capacity:16 ~rooted:16 in
+  let piece = State.make_piece st (range 16 39) in
+  State.attach st ~vertex:1 piece;
+  State.detach st ~vertex:1 piece;
+  Moves.move_whole st ~max_level:2 ~floor_level:2 piece ~dest:5;
+  (* the boundary node (16) was laid at the destination *)
+  check "designated laid at dest" 5 st.State.place.(16);
+  (* the remainder is attached below, anchored at the destination *)
+  check "rest attached at dest" 1 (List.length (State.pieces_at st 5));
+  check "weight accounted" 24 (State.weight_of st 5)
+
+let suite =
+  [
+    ("clamp vertex", `Quick, test_clamp_vertex);
+    ("adjust balances imbalance", `Quick, test_adjust_balances_hand_built_imbalance);
+    ("adjust noop when balanced", `Quick, test_adjust_noop_when_balanced);
+    ("split distributes and fills", `Quick, test_split_distributes_and_fills);
+    ("split lays old-anchored bounds", `Quick, test_split_lays_old_anchored_bounds);
+    ("split respects capacity", `Quick, test_split_respects_capacity);
+    ("reattach by anchor", `Quick, test_reattach_components_by_anchor);
+    ("reattach to explicit vertex", `Quick, test_reattach_to_explicit_vertex);
+    ("move whole lays designated", `Quick, test_move_whole_lays_designated);
+  ]

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "xtree"
+    [
+      ("prelude", Test_prelude.suite);
+      ("topology", Test_topology.suite);
+      ("bintree", Test_bintree.suite);
+      ("separator", Test_separator.suite);
+      ("embedding", Test_embedding.suite);
+      ("core", Test_core.suite);
+      ("theorems", Test_theorems.suite);
+      ("dynamic", Test_dynamic.suite);
+      ("codec", Test_codec.suite);
+      ("dot", Test_dot.suite);
+      ("ablation", Test_ablation.suite);
+      ("exact", Test_exact.suite);
+      ("properties", Test_properties.suite);
+      ("congestion+enum", Test_congestion.suite);
+      ("weighted", Test_weighted.suite);
+      ("internals", Test_internals.suite);
+      ("baseline", Test_baseline.suite);
+      ("netsim", Test_netsim.suite);
+    ]

@@ -1,0 +1,176 @@
+open Xt_topology
+open Xt_bintree
+open Xt_core
+open Xt_netsim
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let path_host n = Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+(* ---------------- router ---------------- *)
+
+let test_router_next_hop () =
+  let r = Router.create (path_host 5) in
+  check "towards 4" 1 (Router.next_hop r ~current:0 ~dst:4);
+  check "towards 0" 3 (Router.next_hop r ~current:4 ~dst:0);
+  check "path length" 4 (Router.path_length r ~src:0 ~dst:4);
+  Alcotest.check_raises "already there" (Invalid_argument "Router.next_hop: already there")
+    (fun () -> ignore (Router.next_hop r ~current:2 ~dst:2))
+
+let test_router_shortest () =
+  (* a cycle: 0-1-2-3-0; 0 to 2 must take 2 hops *)
+  let g = Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let r = Router.create g in
+  check "dist" 2 (Router.path_length r ~src:0 ~dst:2);
+  let hop = Router.next_hop r ~current:0 ~dst:2 in
+  checkb "a neighbour on a shortest path" true (hop = 1 || hop = 3)
+
+(* ---------------- sim ---------------- *)
+
+let test_sim_single_message () =
+  let sim = Sim.create (path_host 5) in
+  Sim.send sim ~src:0 ~dst:4 ~tag:0;
+  let cycles = Sim.run sim ~on_deliver:(fun ~tag:_ _ -> ()) in
+  check "4 hops take 4 cycles" 4 cycles;
+  check "delivered" 1 (Sim.delivered sim)
+
+let test_sim_self_send () =
+  let sim = Sim.create (path_host 2) in
+  Sim.send sim ~src:1 ~dst:1 ~tag:7;
+  let got = ref (-1) in
+  let cycles = Sim.run sim ~on_deliver:(fun ~tag _ -> got := tag) in
+  check "tag seen" 7 !got;
+  check "delivered next cycle" 1 cycles
+
+let test_sim_contention () =
+  (* two messages over the same directed link: second waits one cycle *)
+  let sim = Sim.create (path_host 3) in
+  Sim.send sim ~src:0 ~dst:2 ~tag:0;
+  Sim.send sim ~src:0 ~dst:2 ~tag:1;
+  let cycles = Sim.run sim ~on_deliver:(fun ~tag:_ _ -> ()) in
+  check "serialised" 3 cycles;
+  checkb "queue built up" true (Sim.max_link_queue sim >= 2)
+
+let test_sim_link_capacity () =
+  let mk cap =
+    let sim = Sim.create ~link_capacity:cap (path_host 3) in
+    Sim.send sim ~src:0 ~dst:2 ~tag:0;
+    Sim.send sim ~src:0 ~dst:2 ~tag:1;
+    Sim.run sim ~on_deliver:(fun ~tag:_ _ -> ())
+  in
+  check "capacity 2 avoids serialisation" 2 (mk 2);
+  check "capacity 1 serialises" 3 (mk 1)
+
+let test_sim_cascade () =
+  (* deliveries that trigger further sends *)
+  let sim = Sim.create (path_host 4) in
+  Sim.send sim ~src:0 ~dst:1 ~tag:1;
+  let cycles =
+    Sim.run sim ~on_deliver:(fun ~tag sim ->
+        if tag < 3 then Sim.send sim ~src:tag ~dst:(tag + 1) ~tag:(tag + 1))
+  in
+  check "chain of three hops" 3 cycles;
+  check "three deliveries" 3 (Sim.delivered sim)
+
+(* ---------------- workloads ---------------- *)
+
+let test_reduction_native_cycles () =
+  (* on a complete tree of height h, the reduce wave takes h cycles up *)
+  let t = Gen.complete 15 in
+  check "height 3 wave" 3 (Workload.run_native Workload.reduction t)
+
+let test_broadcast_native_cycles () =
+  let t = Gen.complete 15 in
+  check "height 3 wave" 3 (Workload.run_native Workload.broadcast t)
+
+let test_allreduce_is_both () =
+  let t = Gen.complete 15 in
+  check "up + down" 6 (Workload.run_native Workload.all_reduce t)
+
+let test_pingpong_counts () =
+  let t = Gen.complete 7 in
+  (* 6 edges, request + reply, each 1 hop: 12 cycles *)
+  check "sequential pingpong" 12 (Workload.run_native Workload.pingpong_sweep t)
+
+let test_single_node_workloads () =
+  let t = Gen.complete 1 in
+  List.iter
+    (fun (w : Workload.spec) -> check (w.Workload.name ^ " trivial") 0 (Workload.run_native w t))
+    Workload.workloads
+
+let test_embedded_slowdown_small () =
+  let rng = Xt_prelude.Rng.make ~seed:2 in
+  let t = Gen.uniform rng (Theorem1.optimal_size 3) in
+  let res = Theorem1.embed t in
+  List.iter
+    (fun (w : Workload.spec) ->
+      let s = Workload.slowdown w res.Theorem1.embedding in
+      checkb (Printf.sprintf "%s slowdown %.2f sane" w.Workload.name s) true (s >= 0.2 && s <= 6.0))
+    Workload.workloads
+
+let test_path_tree_reduction () =
+  (* a path of n nodes reduces in n-1 cycles natively *)
+  let t = Gen.path 20 in
+  check "wave length" 19 (Workload.run_native Workload.reduction t)
+
+let suite =
+  [
+    ("router next hop", `Quick, test_router_next_hop);
+    ("router shortest", `Quick, test_router_shortest);
+    ("sim single message", `Quick, test_sim_single_message);
+    ("sim self send", `Quick, test_sim_self_send);
+    ("sim contention", `Quick, test_sim_contention);
+    ("sim link capacity", `Quick, test_sim_link_capacity);
+    ("sim cascade", `Quick, test_sim_cascade);
+    ("reduction native cycles", `Quick, test_reduction_native_cycles);
+    ("broadcast native cycles", `Quick, test_broadcast_native_cycles);
+    ("allreduce both waves", `Quick, test_allreduce_is_both);
+    ("pingpong counts", `Quick, test_pingpong_counts);
+    ("single node workloads", `Quick, test_single_node_workloads);
+    ("embedded slowdown sane", `Quick, test_embedded_slowdown_small);
+    ("path tree reduction", `Quick, test_path_tree_reduction);
+  ]
+
+let test_permutation_workload () =
+  let t = Gen.complete 15 in
+  let cycles = Workload.run_native Workload.permutation t in
+  checkb "takes time" true (cycles > 0);
+  (* every node with an antipode distinct from itself sends one message *)
+  let host = Graph.of_edges ~n:15 (Bintree.edges t) in
+  let place = Array.init 15 Fun.id in
+  let sim = Sim.create host in
+  let _ = Workload.permutation.Workload.run sim ~place ~tree:t in
+  check "deliveries" 15 (Sim.delivered sim)
+
+let test_service_rate_serialises () =
+  (* two messages to the same vertex: unlimited rate completes them in one
+     cycle, rate 1 takes two *)
+  let host = path_host 3 in
+  let fast = Sim.create host in
+  Sim.send fast ~src:0 ~dst:1 ~tag:0;
+  Sim.send fast ~src:2 ~dst:1 ~tag:1;
+  check "parallel service" 1 (Sim.run fast ~on_deliver:(fun ~tag:_ _ -> ()));
+  let slow = Sim.create ~service_rate:1 host in
+  Sim.send slow ~src:0 ~dst:1 ~tag:0;
+  Sim.send slow ~src:2 ~dst:1 ~tag:1;
+  check "serialised service" 2 (Sim.run slow ~on_deliver:(fun ~tag:_ _ -> ()))
+
+let test_service_rate_models_load () =
+  (* a loaded host vertex serialises its guests' work: reduction on a
+     complete tree embedded entirely onto ONE vertex of a 1-vertex host *)
+  let t = Gen.complete 15 in
+  let host = Graph.of_edges ~n:1 [] in
+  let place = Array.make 15 0 in
+  let sim = Sim.create ~service_rate:1 host in
+  let cycles = Workload.reduction.Workload.run sim ~place ~tree:t in
+  (* 14 messages all served by a single CPU, one per cycle: >= 14 *)
+  checkb (Printf.sprintf "cycles %d >= 14" cycles) true (cycles >= 14)
+
+let suite =
+  suite
+  @ [
+      ("permutation workload", `Quick, test_permutation_workload);
+      ("service rate serialises", `Quick, test_service_rate_serialises);
+      ("service rate models load", `Quick, test_service_rate_models_load);
+    ]

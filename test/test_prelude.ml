@@ -1,0 +1,191 @@
+open Xt_prelude
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_pow2 () =
+  check "2^0" 1 (Bits.pow2 0);
+  check "2^10" 1024 (Bits.pow2 10);
+  Alcotest.check_raises "negative" (Invalid_argument "Bits.pow2") (fun () -> ignore (Bits.pow2 (-1)))
+
+let test_ilog2 () =
+  check "log2 1" 0 (Bits.ilog2 1);
+  check "log2 2" 1 (Bits.ilog2 2);
+  check "log2 3" 1 (Bits.ilog2 3);
+  check "log2 1024" 10 (Bits.ilog2 1024);
+  check "log2 1023" 9 (Bits.ilog2 1023)
+
+let test_is_pow2 () =
+  checkb "1" true (Bits.is_pow2 1);
+  checkb "64" true (Bits.is_pow2 64);
+  checkb "63" false (Bits.is_pow2 63);
+  checkb "0" false (Bits.is_pow2 0);
+  checkb "-4" false (Bits.is_pow2 (-4))
+
+let test_popcount () =
+  check "0" 0 (Bits.popcount 0);
+  check "255" 8 (Bits.popcount 255);
+  check "0b1010" 2 (Bits.popcount 0b1010)
+
+let test_trailing () =
+  check "ones of 0111" 3 (Bits.trailing_ones ~width:4 0b0111);
+  check "ones of 1110" 0 (Bits.trailing_ones ~width:4 0b1110);
+  check "ones of 1111" 4 (Bits.trailing_ones ~width:4 0b1111);
+  check "zeros of 1000" 3 (Bits.trailing_zeros ~width:4 0b1000);
+  check "zeros of 0000" 4 (Bits.trailing_zeros ~width:4 0);
+  check "empty width" 0 (Bits.trailing_ones ~width:0 0)
+
+let test_string_of_bits () =
+  Alcotest.(check string) "5 as 4 bits" "0101" (Bits.string_of_bits ~width:4 5);
+  Alcotest.(check string) "empty" "" (Bits.string_of_bits ~width:0 0)
+
+let test_gray_bijective () =
+  let seen = Hashtbl.create 256 in
+  for i = 0 to 255 do
+    Hashtbl.replace seen (Bits.gray i) ()
+  done;
+  check "gray is a bijection on 8 bits" 256 (Hashtbl.length seen)
+
+let test_gray_adjacent () =
+  for i = 0 to 254 do
+    Alcotest.(check int)
+      (Printf.sprintf "gray %d vs %d" i (i + 1))
+      1
+      (Bits.hamming (Bits.gray i) (Bits.gray (i + 1)))
+  done
+
+let test_rng_deterministic () =
+  let a = Rng.make ~seed:5 and b = Rng.make ~seed:5 in
+  for _ = 1 to 100 do
+    check "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.make ~seed:1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in rng 3 7 in
+    checkb "in range" true (x >= 3 && x <= 7)
+  done
+
+let test_shuffle_permutes () =
+  let rng = Rng.make ~seed:9 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_stats_summary () =
+  let s = Stats.of_ints [| 1; 2; 3; 4 |] in
+  check "count" 4 s.Stats.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Stats.max
+
+let test_stats_empty () =
+  let s = Stats.of_floats [||] in
+  check "count" 0 s.Stats.count
+
+let test_histogram () =
+  let h = Stats.histogram ~width:10 [| 1; 5; 11; 12; 25 |] in
+  Alcotest.(check (list (pair int int))) "buckets" [ (0, 2); (10, 2); (20, 1) ] h
+
+let test_percentile () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "median" 50.0 (Stats.percentile 50. xs);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile 100. xs)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+let test_tab_renders () =
+  let t = Tab.create ~title:"demo" [ "a"; "bb" ] in
+  Tab.add_row t [ "1"; "2" ];
+  Tab.add_int_row t "x" [ 3 ];
+  let s = Tab.to_string t in
+  checkb "has title" true (contains_sub s "demo");
+  checkb "mentions header" true (contains_sub s "bb");
+  checkb "has padded short row" true (contains_sub s "x ")
+
+let test_tab_row_too_long () =
+  let t = Tab.create ~title:"t" [ "a" ] in
+  Alcotest.check_raises "too long" (Invalid_argument "Tab.add_row: too many cells") (fun () ->
+      Tab.add_row t [ "1"; "2" ])
+
+let suite =
+  [
+    ("pow2", `Quick, test_pow2);
+    ("ilog2", `Quick, test_ilog2);
+    ("is_pow2", `Quick, test_is_pow2);
+    ("popcount", `Quick, test_popcount);
+    ("trailing bits", `Quick, test_trailing);
+    ("string_of_bits", `Quick, test_string_of_bits);
+    ("gray bijective", `Quick, test_gray_bijective);
+    ("gray adjacent", `Quick, test_gray_adjacent);
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng bounds", `Quick, test_rng_bounds);
+    ("shuffle permutes", `Quick, test_shuffle_permutes);
+    ("stats summary", `Quick, test_stats_summary);
+    ("stats empty", `Quick, test_stats_empty);
+    ("histogram", `Quick, test_histogram);
+    ("percentile", `Quick, test_percentile);
+    ("tab renders", `Quick, test_tab_renders);
+    ("tab row too long", `Quick, test_tab_row_too_long);
+  ]
+
+(* ---------------- Parallel ---------------- *)
+
+let test_parallel_map_order () =
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int)) "order preserved" (List.map (fun x -> x * x) xs)
+    (Parallel.map ~domains:4 (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "sequential path" [ 2; 4 ] (Parallel.map ~domains:1 (fun x -> 2 * x) [ 1; 2 ])
+
+let test_parallel_empty_and_single () =
+  Alcotest.(check (list int)) "empty" [] (Parallel.map ~domains:4 Fun.id []);
+  Alcotest.(check (list int)) "single" [ 7 ] (Parallel.map ~domains:4 Fun.id [ 7 ])
+
+let test_parallel_propagates_exception () =
+  checkb "raises" true
+    (try
+       ignore (Parallel.map ~domains:3 (fun x -> if x = 5 then failwith "boom" else x) (List.init 10 Fun.id));
+       false
+     with Failure _ -> true)
+
+let test_parallel_actually_computes () =
+  let total = Parallel.map ~domains:4 (fun x -> x) (List.init 1000 Fun.id) |> List.fold_left ( + ) 0 in
+  check "sum" (999 * 1000 / 2) total
+
+let test_parallel_iter () =
+  let counter = Atomic.make 0 in
+  Parallel.iter ~domains:4 (fun _ -> Atomic.incr counter) (List.init 50 Fun.id);
+  check "all visited" 50 (Atomic.get counter)
+
+let test_recommended_domains () =
+  checkb "at least one" true (Parallel.recommended_domains () >= 1);
+  checkb "capped" true (Parallel.recommended_domains () <= 8)
+
+let suite =
+  suite
+  @ [
+      ("parallel map order", `Quick, test_parallel_map_order);
+      ("parallel empty/single", `Quick, test_parallel_empty_and_single);
+      ("parallel exception", `Quick, test_parallel_propagates_exception);
+      ("parallel computes", `Quick, test_parallel_actually_computes);
+      ("parallel iter", `Quick, test_parallel_iter);
+      ("recommended domains", `Quick, test_recommended_domains);
+    ]
+
+(* ---------------- CSV ---------------- *)
+
+let test_csv_basic () =
+  let t = Tab.create ~title:"T" [ "a"; "b" ] in
+  Tab.add_row t [ "1"; "x,y" ];
+  Tab.add_row t [ "he said \"hi\""; "2" ];
+  let csv = Tab.to_csv t in
+  Alcotest.(check string) "csv" "a,b\n1,\"x,y\"\n\"he said \"\"hi\"\"\",2\n" csv;
+  Alcotest.(check string) "title" "T" (Tab.title t)
+
+let suite = suite @ [ ("csv rendering", `Quick, test_csv_basic) ]

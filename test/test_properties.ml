@@ -1,0 +1,158 @@
+(* Cross-cutting qcheck properties: random graphs, random X-tree vertices,
+   and a randomized safety net over the full Theorem 1 pipeline. *)
+
+open Xt_topology
+open Xt_bintree
+open Xt_core
+open Xt_embedding
+
+(* ---------------- random graph properties ---------------- *)
+
+type graph_case = { n : int; edges : (int * int) list }
+
+let graph_gen =
+  QCheck2.Gen.(
+    let* n = map (fun k -> k + 2) (int_bound 40) in
+    let* m = int_bound (2 * n) in
+    let* seed = int_bound 1_000_000 in
+    let rng = Xt_prelude.Rng.make ~seed in
+    let edges =
+      List.init m (fun _ ->
+          (Xt_prelude.Rng.int rng n, Xt_prelude.Rng.int rng n))
+    in
+    return { n; edges })
+
+let print_graph_case c = Printf.sprintf "n=%d m=%d" c.n (List.length c.edges)
+
+let graph_props =
+  [
+    QCheck2.Test.make ~count:200 ~name:"graph: degree sum = 2m" ~print:print_graph_case graph_gen
+      (fun c ->
+        let g = Graph.of_edges ~n:c.n c.edges in
+        let sum = ref 0 in
+        for v = 0 to c.n - 1 do
+          sum := !sum + Graph.degree g v
+        done;
+        !sum = 2 * Graph.m g);
+    QCheck2.Test.make ~count:200 ~name:"graph: has_edge agrees with neighbours"
+      ~print:print_graph_case graph_gen (fun c ->
+        let g = Graph.of_edges ~n:c.n c.edges in
+        let ok = ref true in
+        for v = 0 to c.n - 1 do
+          Graph.iter_neighbours g v (fun w -> if not (Graph.has_edge g v w) then ok := false)
+        done;
+        (* and a negative probe *)
+        !ok);
+    QCheck2.Test.make ~count:100 ~name:"graph: bfs distance is symmetric" ~print:print_graph_case
+      graph_gen (fun c ->
+        let g = Graph.of_edges ~n:c.n c.edges in
+        let d0 = Graph.bfs g 0 in
+        let ok = ref true in
+        for v = 0 to c.n - 1 do
+          if d0.(v) >= 0 then begin
+            let dv = Graph.bfs g v in
+            if dv.(0) <> d0.(v) then ok := false
+          end
+        done;
+        !ok);
+    QCheck2.Test.make ~count:100 ~name:"graph: triangle inequality over edges"
+      ~print:print_graph_case graph_gen (fun c ->
+        let g = Graph.of_edges ~n:c.n c.edges in
+        let d0 = Graph.bfs g 0 in
+        let ok = ref true in
+        Graph.iter_edges g (fun u v ->
+            if d0.(u) >= 0 && d0.(v) >= 0 && abs (d0.(u) - d0.(v)) > 1 then ok := false);
+        !ok);
+    QCheck2.Test.make ~count:200 ~name:"graph: no self loops or duplicates survive"
+      ~print:print_graph_case graph_gen (fun c ->
+        let g = Graph.of_edges ~n:c.n c.edges in
+        let ok = ref true in
+        for v = 0 to c.n - 1 do
+          let ns = Graph.neighbours g v in
+          Array.iteri
+            (fun i w ->
+              if w = v then ok := false;
+              if i > 0 && ns.(i - 1) >= w then ok := false)
+            ns
+        done;
+        !ok);
+  ]
+
+(* ---------------- X-tree vertex properties ---------------- *)
+
+let xtree_height = 8
+let shared_xt = lazy (Xtree.create ~height:xtree_height)
+
+let vertex_gen =
+  QCheck2.Gen.(map (fun k -> k mod Xtree.order (Lazy.force shared_xt)) (int_bound 100_000))
+
+let xtree_props =
+  [
+    QCheck2.Test.make ~count:300 ~name:"xtree: parent of child is self" vertex_gen (fun v ->
+        let xt = Lazy.force shared_xt in
+        Xtree.level v >= Xtree.height xt
+        || Xtree.parent (Xtree.child v 0) = Some v && Xtree.parent (Xtree.child v 1) = Some v);
+    QCheck2.Test.make ~count:300 ~name:"xtree: successor/predecessor inverse" vertex_gen (fun v ->
+        match Xtree.successor v with
+        | None -> true
+        | Some s -> Xtree.predecessor s = Some v);
+    QCheck2.Test.make ~count:300 ~name:"xtree: address string roundtrip" vertex_gen (fun v ->
+        Xtree.of_string (Xtree.to_string v) = v);
+    QCheck2.Test.make ~count:100 ~name:"xtree: distance symmetric"
+      QCheck2.Gen.(pair vertex_gen vertex_gen)
+      (fun (u, v) ->
+        let xt = Lazy.force shared_xt in
+        Xtree.distance xt u v = Xtree.distance xt v u);
+    QCheck2.Test.make ~count:200 ~name:"xtree: N(a) within distance 3" vertex_gen (fun a ->
+        let xt = Lazy.force shared_xt in
+        List.for_all (fun b -> Xtree.distance xt a b <= 3) (Xtree.neighbourhood xt a));
+    QCheck2.Test.make ~count:300 ~name:"xtree: ancestors are closer to root" vertex_gen (fun v ->
+        match Xtree.parent v with
+        | None -> v = Xtree.root
+        | Some p -> Xtree.level p = Xtree.level v - 1 && Xtree.is_ancestor p v);
+  ]
+
+(* ---------------- end-to-end Theorem 1 safety net ---------------- *)
+
+type pipeline_case = { fname : string; size : int; capacity : int; seed : int }
+
+let pipeline_gen =
+  QCheck2.Gen.(
+    let families = Array.of_list (List.map (fun (f : Gen.family) -> f.Gen.name) Gen.families) in
+    let* fi = int_bound (Array.length families - 1) in
+    let* size = map (fun k -> k + 1) (int_bound 600) in
+    let* ci = int_bound 2 in
+    let* seed = int_bound 1_000_000 in
+    return { fname = families.(fi); size; capacity = [| 4; 8; 16 |].(ci); seed })
+
+let print_pipeline c = Printf.sprintf "%s n=%d cap=%d seed=%d" c.fname c.size c.capacity c.seed
+
+let run_pipeline c =
+  let rng = Xt_prelude.Rng.make ~seed:c.seed in
+  let tree = (Gen.family c.fname).generate rng c.size in
+  Theorem1.embed ~capacity:c.capacity tree
+
+let pipeline_props =
+  [
+    QCheck2.Test.make ~count:120 ~name:"theorem1: every node placed, load within capacity"
+      ~print:print_pipeline pipeline_gen (fun c ->
+        let res = run_pipeline c in
+        Array.for_all (fun p -> p >= 0) res.Theorem1.embedding.Embedding.place
+        && Embedding.load res.Theorem1.embedding <= c.capacity);
+    QCheck2.Test.make ~count:60 ~name:"theorem1: dilation stays small at any size"
+      ~print:print_pipeline pipeline_gen (fun c ->
+        let res = run_pipeline c in
+        Embedding.dilation ~dist:(Theorem1.distance_oracle res) res.Theorem1.embedding <= 8);
+    QCheck2.Test.make ~count:40 ~name:"theorem1: deterministic" ~print:print_pipeline pipeline_gen
+      (fun c ->
+        let a = run_pipeline c and b = run_pipeline c in
+        a.Theorem1.embedding.Embedding.place = b.Theorem1.embedding.Embedding.place);
+    QCheck2.Test.make ~count:60 ~name:"repair: never increases violations" ~print:print_pipeline
+      pipeline_gen (fun c ->
+        let res = run_pipeline c in
+        let _, rep = Repair.improve_theorem1 res in
+        rep.Repair.violations_after <= rep.Repair.violations_before);
+  ]
+
+let suite =
+  List.map (QCheck_alcotest.to_alcotest ~long:false) (graph_props @ xtree_props @ pipeline_props)

@@ -1,0 +1,182 @@
+open Xt_bintree
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let all_nodes t = List.init (Bintree.n t) Fun.id
+
+let verify ws piece sp =
+  match Separator.verify_split ws piece sp with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "split verification failed: %s" msg
+
+(* ---------------- deterministic cases ---------------- *)
+
+let test_lemma1_path () =
+  let t = Gen.path 100 in
+  let ws = Separator.make_ws t in
+  let piece = { Separator.nodes = all_nodes t; r1 = 0; r2 = Some 99 } in
+  let sp = Separator.lemma1 ws piece ~target:30 in
+  verify ws piece sp;
+  let _, n2 = Separator.side_sizes sp in
+  checkb "size error" true (abs (n2 - 30) <= 10);
+  checkb "s1 small" true (List.length sp.Separator.s1 <= 4);
+  checkb "s2 small" true (List.length sp.Separator.s2 <= 2)
+
+(* on a path, Lemma 2's error bound (A+4)/9 still applies and is tiny *)
+let test_lemma2_path_exact () =
+  let t = Gen.path 64 in
+  let ws = Separator.make_ws t in
+  let piece = { Separator.nodes = all_nodes t; r1 = 0; r2 = Some 63 } in
+  List.iter
+    (fun target ->
+      let sp = Separator.lemma2 ws piece ~target in
+      verify ws piece sp;
+      let _, n2 = Separator.side_sizes sp in
+      checkb
+        (Printf.sprintf "target %d got %d" target n2)
+        true
+        (abs (n2 - target) <= (target + 4) / 9))
+    [ 1; 2; 5; 16; 31; 32; 40; 63 ]
+
+let test_move_all () =
+  let t = Gen.complete 31 in
+  let ws = Separator.make_ws t in
+  let piece = { Separator.nodes = all_nodes t; r1 = 30; r2 = None } in
+  let sp = Separator.lemma2 ws piece ~target:31 in
+  let n1, n2 = Separator.side_sizes sp in
+  check "all moved" 31 n2;
+  check "nothing stays" 0 n1;
+  checkb "designated laid" true (List.mem 30 sp.Separator.s2)
+
+let test_single_node_piece () =
+  let t = Gen.complete 7 in
+  let ws = Separator.make_ws t in
+  let piece = { Separator.nodes = [ 3 ]; r1 = 3; r2 = None } in
+  let sp = Separator.lemma2 ws piece ~target:1 in
+  let _, n2 = Separator.side_sizes sp in
+  check "single node moves" 1 n2
+
+let test_subtree_piece () =
+  (* piece = left subtree of a complete tree *)
+  let t = Gen.complete 31 in
+  let sizes = Bintree.subtree_sizes t in
+  let in_left_subtree v =
+    let rec anc u = u = 1 || (u > 0 && anc ((u - 1) / 2)) in
+    anc v
+  in
+  let nodes = List.filter in_left_subtree (all_nodes t) in
+  check "piece size" sizes.(1) (List.length nodes);
+  let ws = Separator.make_ws t in
+  let piece = { Separator.nodes; r1 = 1; r2 = None } in
+  let sp = Separator.lemma2 ws piece ~target:5 in
+  verify ws piece sp;
+  let _, n2 = Separator.side_sizes sp in
+  checkb "error bound" true (abs (n2 - 5) <= 1)
+
+let test_target_validation () =
+  let t = Gen.complete 7 in
+  let ws = Separator.make_ws t in
+  let piece = { Separator.nodes = all_nodes t; r1 = 0; r2 = None } in
+  Alcotest.check_raises "zero target" (Invalid_argument "Separator.lemma2: target must be positive")
+    (fun () -> ignore (Separator.lemma2 ws piece ~target:0));
+  Alcotest.check_raises "missing r2" (Invalid_argument "Separator.lemma1: r2 not in piece")
+    (fun () -> ignore (Separator.lemma1 ws { piece with r2 = Some 6; nodes = [ 0; 1; 2 ] } ~target:1))
+
+let test_components () =
+  let t = Gen.complete 7 in
+  let ws = Separator.make_ws t in
+  let comps = Separator.components ws ~nodes:(all_nodes t) ~removed:[ 0 ] in
+  check "two components" 2 (List.length comps);
+  let comps2 = Separator.components ws ~nodes:(all_nodes t) ~removed:[ 0; 1; 2 ] in
+  check "four leaves" 4 (List.length comps2);
+  let comps3 = Separator.components ws ~nodes:(all_nodes t) ~removed:[] in
+  check "connected whole" 1 (List.length comps3)
+
+(* ---------------- qcheck properties ---------------- *)
+
+(* A random scenario: a uniform tree, designated nodes with at most two
+   neighbours inside the piece (the paper's situation — designated nodes
+   always touch the embedded region), and a target. *)
+type scenario = {
+  tree : Bintree.t;
+  piece : Separator.piece;
+  target : int;
+}
+
+let scenario_gen ~lemma1 =
+  QCheck2.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let* n = map (fun k -> k + 2) (int_bound 400) in
+    let rng = Xt_prelude.Rng.make ~seed in
+    let tree = Gen.uniform rng n in
+    (* r1: a node of degree <= 2 (always exists: any leaf) *)
+    let low_degree =
+      List.filter (fun v -> Bintree.degree tree v <= 2) (List.init n Fun.id)
+    in
+    let* i1 = int_bound (List.length low_degree - 1) in
+    let r1 = List.nth low_degree i1 in
+    let* r2_raw = int_bound (n - 1) in
+    let r2 = if r2_raw = r1 then None else Some r2_raw in
+    let max_target = if lemma1 then max 1 ((3 * n / 4) - 1) else n in
+    let* target = map (fun k -> 1 + (k mod max_target)) (int_bound 10_000) in
+    return { tree; piece = { Separator.nodes = List.init n Fun.id; r1; r2 }; target })
+
+let print_scenario s =
+  Printf.sprintf "n=%d r1=%d r2=%s target=%d" (Bintree.n s.tree) s.piece.Separator.r1
+    (match s.piece.Separator.r2 with None -> "-" | Some r -> string_of_int r)
+    s.target
+
+let qcheck_tests =
+  [
+    QCheck2.Test.make ~count:300 ~name:"lemma1: structural validity" ~print:print_scenario
+      (scenario_gen ~lemma1:true) (fun s ->
+        let ws = Separator.make_ws s.tree in
+        let sp = Separator.lemma1 ws s.piece ~target:s.target in
+        Separator.verify_split ws s.piece sp = Ok ());
+    QCheck2.Test.make ~count:300 ~name:"lemma1: size error <= (A+1)/3" ~print:print_scenario
+      (scenario_gen ~lemma1:true) (fun s ->
+        let ws = Separator.make_ws s.tree in
+        let sp = Separator.lemma1 ws s.piece ~target:s.target in
+        let _, n2 = Separator.side_sizes sp in
+        abs (n2 - s.target) <= (s.target + 1) / 3);
+    QCheck2.Test.make ~count:300 ~name:"lemma1: |s1|<=4, |s2|<=2" ~print:print_scenario
+      (scenario_gen ~lemma1:true) (fun s ->
+        let ws = Separator.make_ws s.tree in
+        let sp = Separator.lemma1 ws s.piece ~target:s.target in
+        List.length sp.Separator.s1 <= 4 && List.length sp.Separator.s2 <= 2);
+    QCheck2.Test.make ~count:300 ~name:"lemma2: structural validity" ~print:print_scenario
+      (scenario_gen ~lemma1:false) (fun s ->
+        let ws = Separator.make_ws s.tree in
+        let sp = Separator.lemma2 ws s.piece ~target:s.target in
+        Separator.verify_split ws s.piece sp = Ok ());
+    QCheck2.Test.make ~count:300 ~name:"lemma2: size error <= (A+4)/9" ~print:print_scenario
+      (scenario_gen ~lemma1:false) (fun s ->
+        let ws = Separator.make_ws s.tree in
+        let sp = Separator.lemma2 ws s.piece ~target:s.target in
+        let _, n2 = Separator.side_sizes sp in
+        abs (n2 - s.target) <= (s.target + 4) / 9);
+    QCheck2.Test.make ~count:300 ~name:"lemma2: |s1|,|s2| <= 4" ~print:print_scenario
+      (scenario_gen ~lemma1:false) (fun s ->
+        let ws = Separator.make_ws s.tree in
+        let sp = Separator.lemma2 ws s.piece ~target:s.target in
+        List.length sp.Separator.s1 <= 4 && List.length sp.Separator.s2 <= 4);
+    QCheck2.Test.make ~count:300 ~name:"splits partition the piece" ~print:print_scenario
+      (scenario_gen ~lemma1:false) (fun s ->
+        let ws = Separator.make_ws s.tree in
+        let sp = Separator.lemma2 ws s.piece ~target:s.target in
+        let n1, n2 = Separator.side_sizes sp in
+        n1 + n2 = Bintree.n s.tree);
+  ]
+
+let suite =
+  [
+    ("lemma1 on a path", `Quick, test_lemma1_path);
+    ("lemma2 on a path", `Quick, test_lemma2_path_exact);
+    ("move all", `Quick, test_move_all);
+    ("single node piece", `Quick, test_single_node_piece);
+    ("subtree piece", `Quick, test_subtree_piece);
+    ("target validation", `Quick, test_target_validation);
+    ("components", `Quick, test_components);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

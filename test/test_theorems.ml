@@ -1,0 +1,283 @@
+open Xt_bintree
+open Xt_core
+open Xt_embedding
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let rng () = Xt_prelude.Rng.make ~seed:101
+
+(* ---------------- Theorem 2 ---------------- *)
+
+let test_t2_injective () =
+  let rng = rng () in
+  List.iter
+    (fun fname ->
+      let t = (Gen.family fname).generate rng (Theorem1.optimal_size 3) in
+      let res = Theorem2.embed t in
+      checkb (fname ^ " injective") true (Embedding.is_injective res.Theorem2.embedding))
+    [ "path"; "uniform"; "caterpillar" ]
+
+let test_t2_dilation_11 () =
+  let rng = rng () in
+  List.iter
+    (fun fname ->
+      List.iter
+        (fun r ->
+          let t = (Gen.family fname).generate rng (Theorem1.optimal_size r) in
+          let res = Theorem2.embed t in
+          let d = Embedding.dilation ~dist:(Theorem2.distance_oracle res) res.Theorem2.embedding in
+          checkb (Printf.sprintf "%s r=%d dil %d <= 11" fname r d) true (d <= 11))
+        [ 2; 4 ])
+    [ "path"; "uniform"; "random-bst" ]
+
+let test_t2_host_height () =
+  let rng = rng () in
+  let t = Gen.uniform rng (Theorem1.optimal_size 2) in
+  let res = Theorem2.embed t in
+  check "height r+4" (res.Theorem2.base.Theorem1.height + 4) res.Theorem2.height;
+  check "extra levels" 4 res.Theorem2.extra_levels
+
+let test_t2_images_descend_base () =
+  (* each node's image lies exactly 4 levels below its base image, in the
+     base vertex's subtree *)
+  let rng = rng () in
+  let t = Gen.uniform rng 200 in
+  let res = Theorem2.embed t in
+  let base = res.Theorem2.base.Theorem1.embedding.Embedding.place in
+  Array.iteri
+    (fun v img ->
+      let b = base.(v) in
+      check "level" (Xt_topology.Xtree.level b + 4) (Xt_topology.Xtree.level img);
+      checkb "in subtree" true (Xt_topology.Xtree.is_ancestor b img))
+    res.Theorem2.embedding.Embedding.place
+
+(* ---------------- Lemma 3 ---------------- *)
+
+let test_lemma3_chi_is_gray () =
+  check "chi 0" 0 (Hypercube_transfer.chi 0);
+  check "chi 1" 1 (Hypercube_transfer.chi 1);
+  check "chi 2" 3 (Hypercube_transfer.chi 2);
+  check "chi 3" 2 (Hypercube_transfer.chi 3)
+
+let test_lemma3_injective () =
+  let height = 6 in
+  let xt = Xt_topology.Xtree.create ~height in
+  let seen = Hashtbl.create 256 in
+  for a = 0 to Xt_topology.Xtree.order xt - 1 do
+    Hashtbl.replace seen (Hypercube_transfer.map_vertex ~height a) ()
+  done;
+  check "injective" (Xt_topology.Xtree.order xt) (Hashtbl.length seen)
+
+let test_lemma3_siblings () =
+  List.iter
+    (fun h -> checkb (Printf.sprintf "h=%d" h) true (Hypercube_transfer.siblings_adjacent ~height:h))
+    [ 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_lemma3_distance_bound () =
+  List.iter
+    (fun h ->
+      checkb (Printf.sprintf "h=%d" h) true (Hypercube_transfer.lemma3_distance_bound_holds ~height:h))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+(* ---------------- Theorem 3 ---------------- *)
+
+let test_t3_load_and_dilation () =
+  let rng = rng () in
+  List.iter
+    (fun fname ->
+      List.iter
+        (fun r ->
+          let t = (Gen.family fname).generate rng (Theorem1.optimal_size r) in
+          let res = Hypercube_transfer.embed t in
+          let d = Embedding.dilation ~dist:(Hypercube_transfer.distance_oracle res) res.Hypercube_transfer.embedding in
+          checkb (Printf.sprintf "%s r=%d load" fname r) true
+            (Embedding.load res.Hypercube_transfer.embedding <= 16);
+          checkb (Printf.sprintf "%s r=%d dil %d <= 5" fname r d) true (d <= 5))
+        [ 2; 4 ])
+    [ "path"; "uniform"; "caterpillar" ]
+
+let test_t3_cube_dimension () =
+  let rng = rng () in
+  let t = Gen.uniform rng (Theorem1.optimal_size 3) in
+  let res = Hypercube_transfer.embed t in
+  (* optimal size 16·(2^4-1) = 240 fits in Q_4 slots = 16·2^4 = 256 *)
+  check "dim = r+1" (res.Hypercube_transfer.base.Theorem1.height + 1) res.Hypercube_transfer.dim
+
+let test_t3_injective_corollary () =
+  let rng = rng () in
+  List.iter
+    (fun fname ->
+      let t = (Gen.family fname).generate rng (Theorem1.optimal_size 3) in
+      let res = Hypercube_transfer.embed_injective t in
+      checkb "injective" true (Embedding.is_injective res.Hypercube_transfer.embedding);
+      let d = Embedding.dilation ~dist:(Hypercube_transfer.distance_oracle res) res.Hypercube_transfer.embedding in
+      checkb (Printf.sprintf "%s dil %d <= 8" fname d) true (d <= 8))
+    [ "path"; "uniform"; "random-bst" ]
+
+(* ---------------- Theorem 4 ---------------- *)
+
+let test_universal_degree () =
+  List.iter
+    (fun h ->
+      let u = Universal.create h in
+      checkb
+        (Printf.sprintf "h=%d degree" h)
+        true
+        (Xt_topology.Graph.max_degree u.Universal.graph <= Universal.degree_bound))
+    [ 1; 2; 3; 4 ]
+
+let test_universal_order () =
+  let u = Universal.create 3 in
+  check "order 16(2^4-1)" 240 (Universal.order u);
+  check "slots" 16 u.Universal.slots
+
+let test_universal_spanning_trees () =
+  let rng = rng () in
+  let u = Universal.create 3 in
+  List.iter
+    (fun fname ->
+      let t = (Gen.family fname).generate rng (Universal.order u) in
+      match Universal.spanning_tree_of u t with
+      | Ok place ->
+          (* injective and complete: a genuine spanning tree *)
+          let seen = Hashtbl.create 256 in
+          Array.iter (fun p -> Hashtbl.replace seen p ()) place;
+          check (fname ^ " covers all slots") (Universal.order u) (Hashtbl.length seen)
+      | Error msg -> Alcotest.failf "%s: %s" fname msg)
+    [ "path"; "uniform"; "caterpillar"; "random-bst"; "complete" ]
+
+let test_universal_custom_slots () =
+  let u = Universal.create ~slots:4 2 in
+  check "order" 28 (Universal.order u);
+  checkb "degree bound scales down" true
+    (Xt_topology.Graph.max_degree u.Universal.graph <= (25 * 4) + 3)
+
+let test_universal_rejects_oversize () =
+  let rng = rng () in
+  let u = Universal.create 1 in
+  let t = Gen.uniform rng (Universal.order u + 1) in
+  match Universal.spanning_tree_of u t with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversize guest should be rejected"
+
+(* ---------------- Conditions ---------------- *)
+
+let test_conditions_on_identity () =
+  (* the CBT identity embedding satisfies (3') trivially: children are in N(a) *)
+  let e = Xt_baseline.Cbt_embeddings.cbt_into_xtree 4 in
+  let xt = Xt_topology.Xtree.create ~height:4 in
+  let rep = Conditions.check xt e in
+  check "no 3' violations" 0 rep.Conditions.cond3_violations;
+  check "no level gap > 2" 0 rep.Conditions.cond4_violations;
+  check "gap is 1" 1 rep.Conditions.max_level_gap
+
+let test_conditions_on_theorem1 () =
+  let rng = rng () in
+  List.iter
+    (fun fname ->
+      let t = (Gen.family fname).generate rng (Theorem1.optimal_size 3) in
+      let res = Theorem1.embed t in
+      let rep = Conditions.check_theorem1 res in
+      check (fname ^ " edge count") (Bintree.n t - 1) rep.Conditions.edges;
+      check (fname ^ " cond4") 0 rep.Conditions.cond4_violations;
+      checkb (fname ^ " cond3 holds almost everywhere") true
+        (rep.Conditions.cond3_violations * 100 <= rep.Conditions.edges))
+    [ "uniform"; "random-bst"; "caterpillar" ]
+
+(* ---------------- Repair ---------------- *)
+
+let test_repair_preserves_load_and_placement () =
+  let rng = rng () in
+  let t = Gen.caterpillar (Theorem1.optimal_size 5) in
+  ignore rng;
+  let res = Theorem1.embed t in
+  let repaired, _ = Repair.improve_theorem1 res in
+  (* loads are untouched by swapping *)
+  Alcotest.(check (array int))
+    "loads identical"
+    (Embedding.loads res.Theorem1.embedding)
+    (Embedding.loads repaired.Theorem1.embedding);
+  checkb "all placed" true
+    (Array.for_all (fun p -> p >= 0) repaired.Theorem1.embedding.Embedding.place)
+
+let test_repair_never_worsens () =
+  let rng = rng () in
+  List.iter
+    (fun fname ->
+      let t = (Gen.family fname).generate rng (Theorem1.optimal_size 5) in
+      let res = Theorem1.embed t in
+      let _, rep = Repair.improve_theorem1 res in
+      checkb (fname ^ " violations do not grow") true
+        (rep.Repair.violations_after <= rep.Repair.violations_before);
+      checkb (fname ^ " dilation does not grow") true
+        (rep.Repair.dilation_after <= max rep.Repair.dilation_before 3))
+    [ "path"; "caterpillar"; "uniform"; "skewed" ]
+
+let test_repair_fixes_path_trees () =
+  (* path trees are the known worst case for fallbacks; repair clears them *)
+  let t = Gen.path (Theorem1.optimal_size 6) in
+  let res = Theorem1.embed t in
+  let repaired, rep = Repair.improve_theorem1 res in
+  check "violations cleared" 0 rep.Repair.violations_after;
+  let c = Conditions.check_theorem1 repaired in
+  check "independent check agrees" 0 c.Conditions.cond3_violations;
+  checkb "dilation back to paper bound" true (rep.Repair.dilation_after <= 3)
+
+let test_repair_identity_on_clean_embedding () =
+  let t = Gen.complete (Theorem1.optimal_size 3) in
+  let res = Theorem1.embed t in
+  let _, rep = Repair.improve_theorem1 res in
+  check "nothing to do" 0 rep.Repair.swaps;
+  check "still zero" 0 rep.Repair.violations_after
+
+let suite =
+  [
+    ("T2: injective", `Quick, test_t2_injective);
+    ("repair: preserves load", `Quick, test_repair_preserves_load_and_placement);
+    ("repair: never worsens", `Quick, test_repair_never_worsens);
+    ("repair: fixes path trees", `Quick, test_repair_fixes_path_trees);
+    ("repair: identity on clean", `Quick, test_repair_identity_on_clean_embedding);
+    ("T2: dilation <= 11", `Slow, test_t2_dilation_11);
+    ("T2: host height r+4", `Quick, test_t2_host_height);
+    ("T2: images descend base", `Quick, test_t2_images_descend_base);
+    ("L3: chi = gray", `Quick, test_lemma3_chi_is_gray);
+    ("L3: injective", `Quick, test_lemma3_injective);
+    ("L3: siblings adjacent", `Quick, test_lemma3_siblings);
+    ("L3: distance bound", `Slow, test_lemma3_distance_bound);
+    ("T3: load and dilation", `Slow, test_t3_load_and_dilation);
+    ("T3: cube dimension", `Quick, test_t3_cube_dimension);
+    ("T3: injective corollary", `Quick, test_t3_injective_corollary);
+    ("T4: degree bound", `Slow, test_universal_degree);
+    ("T4: order", `Quick, test_universal_order);
+    ("T4: spanning trees", `Slow, test_universal_spanning_trees);
+    ("T4: custom slots", `Quick, test_universal_custom_slots);
+    ("T4: rejects oversize", `Quick, test_universal_rejects_oversize);
+    ("conditions: identity embedding", `Quick, test_conditions_on_identity);
+    ("conditions: theorem 1", `Quick, test_conditions_on_theorem1);
+  ]
+
+(* Lemma 3 structural properties of the chi-map image *)
+let lemma3_qcheck =
+  let height = 7 in
+  let gen_vertex =
+    QCheck2.Gen.(map (fun k -> k mod ((2 * 128) - 1)) (int_bound 100_000))
+  in
+  [
+    QCheck2.Test.make ~count:300 ~name:"lemma3: image encodes the level" gen_vertex (fun a ->
+        (* the lowest set bit of the image sits at position height - level *)
+        let img = Hypercube_transfer.map_vertex ~height a in
+        let lowest = img land -img in
+        lowest = Xt_prelude.Bits.pow2 (height - Xt_topology.Xtree.level a));
+    QCheck2.Test.make ~count:300 ~name:"lemma3: parent-child images within distance 2" gen_vertex
+      (fun a ->
+        Xt_topology.Xtree.level a >= height
+        ||
+        let img = Hypercube_transfer.map_vertex ~height a in
+        List.for_all
+          (fun b ->
+            Xt_prelude.Bits.hamming img (Hypercube_transfer.map_vertex ~height b) <= 2)
+          [ Xt_topology.Xtree.child a 0; Xt_topology.Xtree.child a 1 ]);
+  ]
+
+let suite = suite @ List.map (QCheck_alcotest.to_alcotest ~long:false) lemma3_qcheck

@@ -1,0 +1,122 @@
+open Xt_bintree
+open Xt_core
+open Xt_embedding
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let uniform_weights n = Array.make n 1
+
+let zipfish_weights rng n cap =
+  Array.init n (fun _ ->
+      let u = Xt_prelude.Rng.float rng 1.0 in
+      1 + int_of_float (float_of_int (cap - 1) *. u *. u *. u))
+
+let test_validation () =
+  let t = Gen.complete 7 in
+  Alcotest.check_raises "weights size" (Invalid_argument "Weighted.embed: weights size")
+    (fun () -> ignore (Weighted.embed ~budget:4 ~weights:[| 1 |] t));
+  Alcotest.check_raises "non-positive" (Invalid_argument "Weighted.embed: non-positive weight")
+    (fun () -> ignore (Weighted.embed ~budget:4 ~weights:(Array.make 7 0) t));
+  Alcotest.check_raises "budget too small"
+    (Invalid_argument "Weighted.embed: budget below heaviest node") (fun () ->
+      ignore (Weighted.embed ~budget:4 ~weights:(Array.make 7 5) t))
+
+let test_unit_weights_behave () =
+  let n = 240 in
+  let t = Gen.uniform (Xt_prelude.Rng.make ~seed:3) n in
+  let res = Weighted.embed ~budget:16 ~weights:(uniform_weights n) t in
+  checkb "all placed" true (Array.for_all (fun p -> p >= 0) res.Weighted.embedding.Embedding.place);
+  checkb "budget respected" true (res.Weighted.max_vertex_weight <= 16);
+  check "total" n res.Weighted.total_weight
+
+let test_budget_is_hard () =
+  let rng = Xt_prelude.Rng.make ~seed:9 in
+  List.iter
+    (fun fname ->
+      let n = 1000 in
+      let t = (Gen.family fname).generate rng n in
+      let weights = zipfish_weights rng n 32 in
+      let res = Weighted.embed ~budget:128 ~weights t in
+      checkb (fname ^ " budget hard") true (res.Weighted.max_vertex_weight <= 128);
+      checkb (fname ^ " placed") true
+        (Array.for_all (fun p -> p >= 0) res.Weighted.embedding.Embedding.place))
+    [ "path"; "caterpillar"; "uniform"; "random-bst" ]
+
+let test_vertex_weights_sum () =
+  let n = 500 in
+  let rng = Xt_prelude.Rng.make ~seed:4 in
+  let t = Gen.uniform rng n in
+  let weights = zipfish_weights rng n 16 in
+  let res = Weighted.embed ~budget:100 ~weights t in
+  let vw = Weighted.vertex_weights res in
+  check "sums to total" res.Weighted.total_weight (Array.fold_left ( + ) 0 vw);
+  check "max agrees" res.Weighted.max_vertex_weight (Array.fold_left max 0 vw)
+
+let test_beats_weight_blind () =
+  let rng = Xt_prelude.Rng.make ~seed:6 in
+  let n = Theorem1.optimal_size 6 in
+  let t = Gen.uniform rng n in
+  let weights = zipfish_weights rng n 32 in
+  let res = Weighted.embed ~budget:128 ~weights t in
+  let blind = Theorem1.embed ~height:res.Weighted.height t in
+  let blind_max = Weighted.evaluate_placement ~weights blind.Theorem1.embedding in
+  checkb
+    (Printf.sprintf "weighted %d < blind %d" res.Weighted.max_vertex_weight blind_max)
+    true
+    (res.Weighted.max_vertex_weight < blind_max)
+
+let test_imbalance_metric () =
+  let n = 48 in
+  let t = Gen.complete n in
+  let res = Weighted.embed ~budget:16 ~weights:(uniform_weights n) t in
+  checkb "imbalance >= 1" true (Weighted.imbalance res >= 1.0)
+
+let test_single_heavy_node () =
+  let t = Gen.complete 3 in
+  let res = Weighted.embed ~budget:10 ~weights:[| 10; 1; 1 |] t in
+  checkb "fits" true (res.Weighted.max_vertex_weight <= 10)
+
+let test_explicit_height () =
+  let n = 100 in
+  let t = Gen.uniform (Xt_prelude.Rng.make ~seed:1) n in
+  let res = Weighted.embed ~height:5 ~budget:16 ~weights:(uniform_weights n) t in
+  check "height respected" 5 res.Weighted.height
+
+let suite =
+  [
+    ("validation", `Quick, test_validation);
+    ("unit weights behave", `Quick, test_unit_weights_behave);
+    ("budget is hard", `Quick, test_budget_is_hard);
+    ("vertex weights sum", `Quick, test_vertex_weights_sum);
+    ("beats weight-blind", `Quick, test_beats_weight_blind);
+    ("imbalance metric", `Quick, test_imbalance_metric);
+    ("single heavy node", `Quick, test_single_heavy_node);
+    ("explicit height", `Quick, test_explicit_height);
+  ]
+
+(* randomized: the budget is a hard bound for any family/size/skew *)
+let weighted_qcheck =
+  let gen_case =
+    QCheck2.Gen.(
+      let families = [| "path"; "caterpillar"; "uniform"; "random-bst" |] in
+      let* fi = int_bound 3 in
+      let* n = map (fun k -> k + 2) (int_bound 500) in
+      let* maxw = map (fun k -> k + 1) (int_bound 20) in
+      let* seed = int_bound 1_000_000 in
+      return (families.(fi), n, maxw, seed))
+  in
+  let print_case (f, n, maxw, seed) = Printf.sprintf "%s n=%d maxw=%d seed=%d" f n maxw seed in
+  [
+    QCheck2.Test.make ~count:80 ~name:"weighted: hard budget, everything placed" ~print:print_case
+      gen_case (fun (fname, n, maxw, seed) ->
+        let rng = Xt_prelude.Rng.make ~seed in
+        let t = (Gen.family fname).generate rng n in
+        let weights = Array.init n (fun _ -> 1 + Xt_prelude.Rng.int rng maxw) in
+        let budget = 4 * (maxw + 1) in
+        let res = Weighted.embed ~budget ~weights t in
+        res.Weighted.max_vertex_weight <= budget
+        && Array.for_all (fun p -> p >= 0) res.Weighted.embedding.Embedding.place);
+  ]
+
+let suite = suite @ List.map (QCheck_alcotest.to_alcotest ~long:false) weighted_qcheck
