@@ -1,19 +1,79 @@
 (* Full experiment harness: regenerates every table/figure object of the
-   paper (tables F1..E14, see DESIGN.md section 4), then runs the
+   paper (tables F1..E19, see DESIGN.md section 4), then runs the
    bechamel micro-benchmarks.
 
-   Usage: dune exec bench/main.exe [-- --tables-only | --micro-only | --csv DIR] *)
+   Usage: dune exec bench/main.exe [-- OPTIONS]
+
+     --tables-only      skip the micro-benchmarks
+     --micro-only       skip the tables
+     --csv DIR          also write one CSV per table into DIR
+     --jobs N           run table jobs on N domains (default 1; the
+                        rendered output is byte-identical for every N)
+     --json FILE        write per-table wall-clock timings, domain count
+                        and estimated speedup to FILE as JSON
+     --smoke            only the cheap smoke-marked tables (seconds, not
+                        minutes; used by the @bench-smoke dune alias)
+     --no-timings       blank live wall-clock cells (E18) so two runs
+                        can be diffed byte-for-byte *)
+
+let rec find_value key = function
+  | k :: v :: _ when k = key -> Some v
+  | _ :: rest -> find_value key rest
+  | [] -> None
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Machine-readable run record. [speedup_vs_sequential] is estimated from
+   one run as (sum of per-job times) / wall: the jobs are independent, so
+   the sum approximates the sequential wall-clock on the same machine. *)
+let write_json file ~jobs_flag ~smoke ~wall timings =
+  let sum = List.fold_left (fun acc t -> acc +. t.Tables.seconds) 0. timings in
+  let oc = open_out file in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"tables\",\n";
+  Printf.fprintf oc "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"domains\": %d,\n" (Xt_prelude.Parallel.domain_budget ());
+  Printf.fprintf oc "  \"jobs_flag\": %d,\n" jobs_flag;
+  Printf.fprintf oc "  \"smoke\": %b,\n" smoke;
+  Printf.fprintf oc "  \"stages\": [\n";
+  List.iteri
+    (fun i t ->
+      Printf.fprintf oc "    { \"name\": \"%s\", \"seconds\": %.6f }%s\n"
+        (json_escape t.Tables.job) t.Tables.seconds
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"sum_seconds\": %.6f,\n" sum;
+  Printf.fprintf oc "  \"wall_seconds\": %.6f,\n" wall;
+  Printf.fprintf oc "  \"speedup_vs_sequential\": %.3f\n" (if wall > 0. then sum /. wall else 1.);
+  Printf.fprintf oc "}\n";
+  close_out oc
 
 let () =
   let args = Array.to_list Sys.argv in
   let tables = not (List.mem "--micro-only" args) in
   let micro = not (List.mem "--tables-only" args) in
-  let rec find_csv = function
-    | "--csv" :: dir :: _ -> Some dir
-    | _ :: rest -> find_csv rest
-    | [] -> None
+  let smoke = List.mem "--smoke" args in
+  if List.mem "--no-timings" args then Tables.live_timings := false;
+  let jobs_flag =
+    match find_value "--jobs" args with
+    | None -> 1
+    | Some n -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> n
+        | _ -> failwith "main: --jobs expects a positive integer")
   in
-  (match find_csv args with
+  Xt_prelude.Parallel.set_domain_budget jobs_flag;
+  (match find_value "--csv" args with
   | Some dir ->
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
       Tables.csv_dir := Some dir
@@ -21,5 +81,12 @@ let () =
   print_endline "Simulating Binary Trees on X-Trees (Monien, SPAA 1991) - reproduction harness";
   print_endline "==============================================================================";
   print_newline ();
-  if tables then Tables.run_all ();
+  if tables then begin
+    let t0 = Unix.gettimeofday () in
+    let timings = Tables.run_jobs ~smoke () in
+    let wall = Unix.gettimeofday () -. t0 in
+    match find_value "--json" args with
+    | Some file -> write_json file ~jobs_flag ~smoke ~wall timings
+    | None -> ()
+  end;
   if micro then Micro.run ()

@@ -14,6 +14,22 @@ let prepared_tree =
     (let rng = Rng.make ~seed:99 in
      Gen.uniform rng n_bench)
 
+(* B8 exercises the dense-array congestion router end to end: every
+   unordered vertex pair of X(6) as a unit demand, one Dijkstra each,
+   loads accumulated in the shared edge-indexed array. *)
+let congestion_workload =
+  lazy
+    (let xt = Xt_topology.Xtree.create ~height:6 in
+     let g = Xt_topology.Xtree.graph xt in
+     let n = Xt_topology.Graph.n g in
+     let pairs = ref [] in
+     for u = 0 to n - 1 do
+       for v = u + 1 to n - 1 do
+         pairs := (u, v) :: !pairs
+       done
+     done;
+     (g, !pairs))
+
 let tests =
   Test.make_grouped ~name:"xtree"
     [
@@ -54,6 +70,10 @@ let tests =
                total := !total + Xt_topology.Xtree.analytic_distance 1000 v
              done;
              ignore !total));
+      Test.make ~name:"B8 congestion analyse X(6) all-pairs"
+        (Staged.stage (fun () ->
+             let g, pairs = Lazy.force congestion_workload in
+             ignore (Xt_embedding.Congestion.analyse g pairs)));
     ]
 
 let run () =

@@ -1,6 +1,9 @@
-(* Experiment tables F1..E10 — one per paper object, as indexed in
-   DESIGN.md section 4. Each function prints one table; EXPERIMENTS.md
-   records the paper-vs-measured comparison of a reference run. *)
+(* Experiment tables F1..E19 — one per paper object, as indexed in
+   DESIGN.md section 4. Each function builds one table; the job registry
+   at the bottom runs them (optionally through the Parallel pool) and
+   prints the rendered tables in registry order, so the output is
+   byte-identical whatever the job count. EXPERIMENTS.md records the
+   paper-vs-measured comparison of a reference run. *)
 
 open Xt_prelude
 open Xt_topology
@@ -22,17 +25,21 @@ let slug title =
   in
   String.lowercase_ascii first_token
 
-let emit t =
-  Tab.print t;
-  match !csv_dir with
+(* Render a finished table (and drop its CSV if requested). Jobs may run
+   concurrently, but each writes its own CSV file, so no locking needed. *)
+let render t =
+  (match !csv_dir with
   | None -> ()
   | Some dir ->
       let file = Filename.concat dir (slug (Tab.title t) ^ ".csv") in
       let oc = open_out file in
       output_string oc (Tab.to_csv t);
-      close_out oc
+      close_out oc);
+  Tab.to_string t
 
-let fresh_rng = ref (Rng.make ~seed:20260704)
+(* E18 stamps wall-clock cells; [--no-timings] blanks them so two runs of
+   the harness can be diffed byte-for-byte. *)
+let live_timings = ref true
 
 let tree_of name n =
   (* a fresh deterministic stream per (name, n) keeps tables stable under
@@ -53,7 +60,7 @@ let f1_xtree_structure () =
       Tab.add_int_row t (string_of_int r)
         [ Xtree.order xt; Graph.m g; tree_edges; horiz; Graph.max_degree g; Graph.diameter g ])
     [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ];
-  emit t
+  t
 
 let f2_neighbourhood () =
   let t =
@@ -77,7 +84,7 @@ let f2_neighbourhood () =
       done;
       Tab.add_int_row t (string_of_int r) [ !maxn; !maxasym ])
     [ 2; 3; 4; 5; 6; 7 ];
-  emit t
+  t
 
 let f3_network_zoo () =
   let t =
@@ -101,16 +108,18 @@ let f3_network_zoo () =
   add "CCC(5)" (Ccc.graph (Ccc.create ~dim:5));
   add "butterfly BF(5)" (Butterfly.graph (Butterfly.create ~dim:5));
   add "grid 16x16" (Grid.graph (Grid.create ~rows:16 ~cols:16));
-  emit t
+  t
 
 (* ------------------------------------------------------------------ *)
 
-let lemma_table ~title ~lemma ~bound_of ~max_target () =
+let lemma_table ~title ~seed ~lemma ~bound_of ~max_target () =
   let t =
     Tab.create ~title
       [ "family"; "n"; "trials"; "max err"; "err bound"; "max |s1|"; "max |s2|"; "all valid" ]
   in
-  let rng = !fresh_rng in
+  (* each lemma table owns its stream: sharing one rng across tables would
+     make the numbers depend on execution order, which parallel runs break *)
+  let rng = Rng.make ~seed in
   List.iter
     (fun name ->
       List.iter
@@ -152,12 +161,12 @@ let lemma_table ~title ~lemma ~bound_of ~max_target () =
             ])
         [ 100; 1000; 8000 ])
     families;
-  emit t
+  t
 
 let l1_lemma1 () =
   lemma_table
     ~title:"L1  Lemma 1 splits (paper: |n2-A| <= (A+1)/3, |s1| <= 4, |s2| <= 2)"
-    ~lemma:Separator.lemma1
+    ~seed:20260704 ~lemma:Separator.lemma1
     ~bound_of:(fun target -> (target + 1) / 3)
     ~max_target:(fun n -> max 1 ((3 * n / 4) - 1))
     ()
@@ -165,7 +174,7 @@ let l1_lemma1 () =
 let l2_lemma2 () =
   lemma_table
     ~title:"L2  Lemma 2 splits (paper: |n2-A| <= (A+4)/9, |s1|,|s2| <= 4)"
-    ~lemma:Separator.lemma2
+    ~seed:20260705 ~lemma:Separator.lemma2
     ~bound_of:(fun target -> (target + 4) / 9)
     ~max_target:(fun n -> n)
     ()
@@ -201,7 +210,7 @@ let e1_theorem1 () =
             ])
         [ 3; 5; 7; 9 ])
     families;
-  emit t
+  t
 
 let e2_theorem2 () =
   let t =
@@ -227,7 +236,7 @@ let e2_theorem2 () =
             ])
         [ 3; 5; 7 ])
     families;
-  emit t
+  t
 
 let e3_lemma3 () =
   let t =
@@ -244,7 +253,7 @@ let e3_lemma3 () =
           string_of_bool (Hypercube_transfer.lemma3_distance_bound_holds ~height:r);
         ])
     [ 1; 2; 3; 4; 5; 6; 7 ];
-  emit t
+  t
 
 let e4_theorem3 () =
   let t =
@@ -281,7 +290,7 @@ let e4_theorem3 () =
             ])
         [ 3; 5; 7 ])
     families;
-  emit t
+  t
 
 let e5_universal () =
   let t =
@@ -306,7 +315,7 @@ let e5_universal () =
           Printf.sprintf "%d/%d" !ok (List.length families);
         ])
     [ 2; 3; 4; 5 ];
-  emit t
+  t
 
 let e6_constant_vs_growing () =
   let t =
@@ -340,7 +349,7 @@ let e6_constant_vs_growing () =
             ])
         [ 3; 5; 7; 9 ])
     [ "path"; "caterpillar"; "uniform"; "random-bst" ];
-  emit t
+  t
 
 let e7_simulation () =
   let t =
@@ -368,7 +377,7 @@ let e7_simulation () =
             ])
         Workload.workloads)
     [ "complete"; "caterpillar"; "uniform"; "random-bst" ];
-  emit t
+  t
 
 let e7b_host_comparison () =
   let t =
@@ -402,7 +411,7 @@ let e7b_host_comparison () =
       let rb = Recursive_bisection.embed tree in
       add "X-tree (bisection)" rb.Recursive_bisection.embedding)
     [ "caterpillar"; "uniform" ];
-  emit t
+  t
 
 let e9b_spread () =
   let t =
@@ -432,7 +441,7 @@ let e9b_spread () =
                 ])
             last)
     [ "path"; "uniform" ];
-  emit t
+  t
 
 let e7c_compute_bound () =
   let t =
@@ -460,7 +469,7 @@ let e7c_compute_bound () =
             ])
         [ Workload.reduction; Workload.broadcast; Workload.permutation ])
     [ "complete"; "uniform" ];
-  emit t
+  t
 
 let e13b_structural_guests () =
   let t =
@@ -495,7 +504,7 @@ let e13b_structural_guests () =
   probe "X(3) (15)" (Xtree.graph (Xtree.create ~height:3));
   probe "grid 2x4 (8)" (Grid.graph (Grid.create ~rows:2 ~cols:4));
   probe "grid 3x3 (9)" (Grid.graph (Grid.create ~rows:3 ~cols:3));
-  emit t
+  t
 
 let e14_seed_robustness () =
   let t =
@@ -534,7 +543,7 @@ let e14_seed_robustness () =
       cells
   in
   List.iter (Tab.add_row t) rows;
-  emit t
+  t
 
 let e18_scaling () =
   let t =
@@ -555,14 +564,14 @@ let e18_scaling () =
         [
           string_of_int r;
           string_of_int n;
-          Printf.sprintf "%.2f" dt;
+          (if !live_timings then Printf.sprintf "%.2f" dt else "-");
           string_of_int d;
           string_of_int (Embedding.load res.Theorem1.embedding);
           string_of_int res.Theorem1.fallbacks;
           Printf.sprintf "%.4f%%" (100. *. float_of_int res.Theorem1.fallbacks /. float_of_int n);
         ])
     [ 8; 9; 10; 11; 12 ];
-  emit t
+  t
 
 let e8_cbt_classics () =
   let t =
@@ -579,7 +588,7 @@ let e8_cbt_classics () =
           string_of_bool (Cbt_embeddings.inorder_distance_bound_holds ~height:(min r 6));
         ])
     [ 2; 4; 6; 8 ];
-  emit t
+  t
 
 let e9_trace_decay () =
   let t =
@@ -603,7 +612,7 @@ let e9_trace_decay () =
                 [ name; string_of_int (i + 1); string_of_int worst; string_of_int envelope ])
             tr.Theorem1.rounds)
     [ "path"; "uniform" ];
-  emit t
+  t
 
 let e10_conditions () =
   let t =
@@ -634,7 +643,7 @@ let e10_conditions () =
             ])
         [ 3; 5; 7; 9 ])
     families;
-  emit t
+  t
 
 let e12_ablation () =
   let t =
@@ -662,7 +671,7 @@ let e12_ablation () =
             ])
         Options.variants)
     [ "path"; "caterpillar"; "uniform" ];
-  emit t
+  t
 
 let e11_online () =
   let t =
@@ -698,7 +707,7 @@ let e11_online () =
       Tab.add_int_row t (string_of_int checkpoint)
         [ incr_dil; rebuilt; incr_host; res.Theorem1.height; load ])
     [ 100; 500; 1000; 2000; 4000; 8000 ];
-  emit t
+  t
 
 let e13_exact_optimal () =
   let t =
@@ -735,7 +744,7 @@ let e13_exact_optimal () =
   let rng = Rng.make ~seed:7 in
   probe "uniform (12)" (Gen.uniform rng 12);
   probe "uniform (14)" (Gen.uniform rng 14);
-  emit t
+  t
 
 let e15_exhaustive () =
   let t =
@@ -768,7 +777,7 @@ let e15_exhaustive () =
           string_of_int !maxload;
         ])
     [ (6, 2); (7, 1); (9, 2); (10, 4); (11, 16) ];
-  emit t
+  t
 
 let e16_congestion_routing () =
   let t =
@@ -796,7 +805,7 @@ let e16_congestion_routing () =
             ])
         [ 5; 7 ])
     [ "caterpillar"; "uniform"; "random-bst"; "complete" ];
-  emit t
+  t
 
 let e17_analytic_routing () =
   let t =
@@ -836,7 +845,7 @@ let e17_analytic_routing () =
           string_of_int !max_excess;
         ])
     [ 3; 4; 5; 6; 7 ];
-  emit t
+  t
 
 let e19_weighted () =
   let t =
@@ -868,62 +877,67 @@ let e19_weighted () =
           string_of_int (Weighted.evaluate_placement ~weights blind.Theorem1.embedding);
         ])
     [ "uniform"; "caterpillar"; "random-bst"; "path" ];
-  emit t
+  t
 
-let run_all () =
-  f1_xtree_structure ();
-  print_newline ();
-  f2_neighbourhood ();
-  print_newline ();
-  f3_network_zoo ();
-  print_newline ();
-  l1_lemma1 ();
-  print_newline ();
-  l2_lemma2 ();
-  print_newline ();
-  e1_theorem1 ();
-  print_newline ();
-  e2_theorem2 ();
-  print_newline ();
-  e3_lemma3 ();
-  print_newline ();
-  e4_theorem3 ();
-  print_newline ();
-  e5_universal ();
-  print_newline ();
-  e6_constant_vs_growing ();
-  print_newline ();
-  e7_simulation ();
-  print_newline ();
-  e7b_host_comparison ();
-  print_newline ();
-  e7c_compute_bound ();
-  print_newline ();
-  e8_cbt_classics ();
-  print_newline ();
-  e9_trace_decay ();
-  print_newline ();
-  e9b_spread ();
-  print_newline ();
-  e10_conditions ();
-  print_newline ();
-  e11_online ();
-  print_newline ();
-  e12_ablation ();
-  print_newline ();
-  e13_exact_optimal ();
-  print_newline ();
-  e13b_structural_guests ();
-  print_newline ();
-  e14_seed_robustness ();
-  print_newline ();
-  e15_exhaustive ();
-  print_newline ();
-  e16_congestion_routing ();
-  print_newline ();
-  e17_analytic_routing ();
-  print_newline ();
-  e18_scaling ();
-  print_newline ();
-  e19_weighted ();
-  print_newline ()
+(* ------------------------------------------------------------------ *)
+(* Job registry: every table as an independent, order-free job. [smoke]
+   marks the cheap ones the @bench-smoke alias runs in a few seconds. *)
+
+type job = { name : string; smoke : bool; table : unit -> Tab.t }
+
+let jobs =
+  [
+    { name = "F1"; smoke = true; table = f1_xtree_structure };
+    { name = "F2"; smoke = true; table = f2_neighbourhood };
+    { name = "F3"; smoke = true; table = f3_network_zoo };
+    { name = "L1"; smoke = false; table = l1_lemma1 };
+    { name = "L2"; smoke = false; table = l2_lemma2 };
+    { name = "E1"; smoke = true; table = e1_theorem1 };
+    { name = "E2"; smoke = false; table = e2_theorem2 };
+    { name = "E3"; smoke = true; table = e3_lemma3 };
+    { name = "E4"; smoke = false; table = e4_theorem3 };
+    { name = "E5"; smoke = false; table = e5_universal };
+    { name = "E6"; smoke = false; table = e6_constant_vs_growing };
+    { name = "E7"; smoke = false; table = e7_simulation };
+    { name = "E7b"; smoke = false; table = e7b_host_comparison };
+    { name = "E7c"; smoke = false; table = e7c_compute_bound };
+    { name = "E8"; smoke = true; table = e8_cbt_classics };
+    { name = "E9"; smoke = true; table = e9_trace_decay };
+    { name = "E9b"; smoke = false; table = e9b_spread };
+    { name = "E10"; smoke = false; table = e10_conditions };
+    { name = "E11"; smoke = false; table = e11_online };
+    { name = "E12"; smoke = false; table = e12_ablation };
+    { name = "E13"; smoke = false; table = e13_exact_optimal };
+    { name = "E13b"; smoke = false; table = e13b_structural_guests };
+    { name = "E14"; smoke = false; table = e14_seed_robustness };
+    { name = "E15"; smoke = false; table = e15_exhaustive };
+    { name = "E16"; smoke = true; table = e16_congestion_routing };
+    { name = "E17"; smoke = false; table = e17_analytic_routing };
+    { name = "E18"; smoke = false; table = e18_scaling };
+    { name = "E19"; smoke = false; table = e19_weighted };
+  ]
+
+type timing = { job : string; seconds : float }
+
+(* Run the selected jobs through the Parallel pool (sequentially when the
+   domain budget is 1) and print the rendered tables in registry order.
+   Inner parallelism (Theorem1 sweeps, E14's own Parallel.map) detects it
+   is inside a pool worker and runs inline, so job-level parallelism
+   cannot change any table: the output is byte-identical for every
+   [--jobs] value. Returns per-job wall-clock timings in the same order. *)
+let run_jobs ?(smoke = false) () =
+  let selected = if smoke then List.filter (fun j -> j.smoke) jobs else jobs in
+  let timed j =
+    let t0 = Unix.gettimeofday () in
+    let out = render (j.table ()) in
+    ({ job = j.name; seconds = Unix.gettimeofday () -. t0 }, out)
+  in
+  let results = Parallel.map timed selected in
+  List.iter
+    (fun (_, out) ->
+      print_string out;
+      print_newline ())
+    results;
+  List.map fst results
+
+let run_all () = ignore (run_jobs ())

@@ -123,6 +123,14 @@ let repair_arg =
   let doc = "Run the local-search repair pass after Theorem 1." in
   Arg.(value & flag & info [ "repair" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domain budget for the parallel runtime (Theorem 1 sweeps). The \
+     embedding is bit-identical for every value; 1 forces the sequential \
+     path. Overrides the XT_DOMAINS environment variable."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let print_report name (e : Embedding.t) dist =
   let r = Embedding.report ?dist e in
   Format.printf "%s: %a@." name Embedding.pp_report r
@@ -135,7 +143,8 @@ let svg_arg =
   let doc = "Write a self-contained SVG rendering of the embedding to $(docv) (Theorem 1 only)." in
   Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
 
-let embed_run family size seed capacity algorithm trace repair input dot svg =
+let embed_run family size seed capacity algorithm trace repair input dot svg jobs =
+  (match jobs with Some n -> Parallel.set_domain_budget n | None -> ());
   let t = load_tree family size seed input in
   match algorithm with
   | Theorem1_alg ->
@@ -200,7 +209,7 @@ let embed_cmd =
     (Cmd.info "embed" ~doc)
     Term.(
       const embed_run $ family_arg $ size_arg $ seed_arg $ capacity_arg $ algorithm_arg
-      $ trace_arg $ repair_arg $ input_arg $ dot_arg $ svg_arg)
+      $ trace_arg $ repair_arg $ input_arg $ dot_arg $ svg_arg $ jobs_arg)
 
 (* ---------------- hypercube ---------------- *)
 

@@ -4,10 +4,14 @@ open Xt_bintree
 (* Descend from [v] appending bit [b] until reaching [lvl]. *)
 let rec spine v b lvl = if Xtree.level v >= lvl then v else spine (Xtree.child v b) b lvl
 
-let run st ~round:i ~a =
+type plan = { donor_leaf : int; receiver_leaf : int; donor_new : int; receiver_new : int; delta : int }
+
+let plan st ~round:i ~a =
   let c0 = Xtree.child a 0 and c1 = Xtree.child a 1 in
   let w0 = State.weight_of st c0 and w1 = State.weight_of st c1 in
-  if w0 <> w1 then begin
+  let delta = (max w0 w1 - min w0 w1) / 2 in
+  if delta = 0 then None
+  else begin
     (* Boundary leaves at level i-1; ADJUST lays out at their inward
        children on level i, which are horizontal neighbours. *)
     let heavy_first = w0 > w1 in
@@ -17,8 +21,13 @@ let run st ~round:i ~a =
     in
     let donor_new = Xtree.child donor_leaf (if heavy_first then 1 else 0) in
     let receiver_new = Xtree.child receiver_leaf (if heavy_first then 0 else 1) in
-    let delta = (max w0 w1 - min w0 w1) / 2 in
-    if delta > 0 then begin
+    Some { donor_leaf; receiver_leaf; donor_new; receiver_new; delta }
+  end
+
+let run st ~round:i ~a =
+  match plan st ~round:i ~a with
+  | None -> ()
+  | Some { donor_leaf; donor_new; receiver_new; delta; receiver_leaf = _ } ->
       (* Budgets: at most 4 nodes laid per new leaf by one ADJUST call. *)
       let budget_donor = ref 4 and budget_recv = ref 4 in
       let remaining = ref delta in
@@ -73,5 +82,3 @@ let run st ~round:i ~a =
               else continue_ := false
         end
       done
-    end
-  end

@@ -26,8 +26,14 @@ let assign_class ~pairing (bag0, acc0) (bag1, acc1) pieces =
       end)
     pieces
 
-let run ?(options = Options.default) st ~round:i ~alpha =
+let run ?(options = Options.default) ?outer_weight st ~round:i ~alpha =
   let capacity = st.State.capacity in
+  (* Weight of a level-i vertex outside alpha's subtree, read only for
+     the orientation tie-break. Callers sweeping a whole level pass a
+     pre-sweep snapshot so the tie-break is independent of how much of
+     the sweep has already run — which also removes the one cross-subtree
+     read that would block parallel sweeps. *)
+  let outer_weight = match outer_weight with Some f -> f | None -> State.weight_of st in
   let c0 = Xtree.child alpha 0 and c1 = Xtree.child alpha 1 in
   let old_anchor (p : State.piece) =
     List.exists (fun b -> Xtree.level b.State.anchor <= i - 2) p.State.bounds
@@ -54,8 +60,8 @@ let run ?(options = Options.default) st ~round:i ~alpha =
   let straight =
     if imbalance_straight <> imbalance_swapped then imbalance_straight < imbalance_swapped
     else begin
-      let outer0 = Option.map (State.weight_of st) (Xtree.predecessor c0) in
-      let outer1 = Option.map (State.weight_of st) (Xtree.successor c1) in
+      let outer0 = Option.map outer_weight (Xtree.predecessor c0) in
+      let outer1 = Option.map outer_weight (Xtree.successor c1) in
       let heavy_is_bag0 = !size0 >= !size1 in
       let prefer_heavy_left =
         match (outer0, outer1) with

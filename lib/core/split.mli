@@ -14,4 +14,16 @@
     + each child is topped up to [capacity] with frontier nodes (residual
       nodes adjacent to an already-laid node). *)
 
-val run : ?options:Options.t -> State.t -> round:int -> alpha:int -> unit
+val run :
+  ?options:Options.t ->
+  ?outer_weight:(int -> int) ->
+  State.t ->
+  round:int ->
+  alpha:int ->
+  unit
+(** [outer_weight] supplies the weight of the level-[i] vertices just
+    outside [alpha]'s subtree, read only to break orientation ties.
+    Defaults to the live weights; {!Theorem1.embed} passes a pre-sweep
+    snapshot of the whole level so every SPLIT of a sweep sees the same
+    outer weights regardless of execution order — the property that lets
+    sweeps run in parallel. *)

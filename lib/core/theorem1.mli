@@ -40,12 +40,21 @@ val embed :
   ?height:int ->
   ?record_trace:bool ->
   ?options:Options.t ->
+  ?par:bool ->
   Xt_bintree.Bintree.t ->
   result
 (** Run algorithm X-TREE. [capacity] defaults to the paper's 16. [height]
     defaults to {!height_for}; raises [Invalid_argument] if an explicit
     height gives insufficient total capacity. [options] selects ablation
-    variants (default: the full paper algorithm). *)
+    variants (default: the full paper algorithm).
+
+    [par] enables parallel ADJUST/SPLIT sweeps over the
+    {!Xt_prelude.Parallel} domain pool; the default is on exactly when
+    the domain budget exceeds 1 and the caller is not already inside a
+    parallel region. The result is bit-identical to the sequential run —
+    only calls proven confined to disjoint subtrees execute concurrently,
+    on forked state views ({!State.fork}), and narrow levels skip the
+    machinery entirely. *)
 
 val distance_oracle : result -> int -> int -> int
 (** Memoised X-tree distance for use with {!Xt_embedding.Embedding}

@@ -7,38 +7,72 @@ type result = { congestion : int; max_route_length : int; total_route_length : i
 (* How many extra hops a route may take to dodge congestion. *)
 let detour_slack = 4
 
+(* Reusable Dijkstra scratch. One allocation serves every demand of a
+   routing run: [stamp] generation-marks valid [dist] entries so nothing
+   needs an O(states) clear between demands, and the heap empties in
+   O(1). Arrays grow monotonically; demands are routed longest-first, so
+   the first demand already needs the largest state space. *)
+type scratch = {
+  mutable dist : int array;
+  mutable parent : int array;
+  mutable stamp : int array;
+  mutable gen : int;
+  heap : int Heap.t;
+}
+
+let make_scratch () = { dist = [||]; parent = [||]; stamp = [||]; gen = 0; heap = Heap.create () }
+
+let prepare scratch states =
+  if Array.length scratch.dist < states then begin
+    scratch.dist <- Array.make states max_int;
+    scratch.parent <- Array.make states (-1);
+    scratch.stamp <- Array.make states 0;
+    scratch.gen <- 0
+  end;
+  scratch.gen <- scratch.gen + 1;
+  Heap.clear scratch.heap
+
 (* Load-aware Dijkstra from s to t over (vertex, hops-used) states, so
    that routes are guaranteed at most [shortest + detour_slack] hops long
    ([ds]/[dt] are hop-distance rows from s and t, used to prune states
    that cannot finish within budget). Edge cost (load+1)^2 gives shortest
-   paths on an idle network and repels hot edges under load. *)
-let dijkstra host load ~ds ~dt s t =
-  let n = Graph.n host in
+   paths on an idle network and repels hot edges under load. Loads are
+   read straight out of an edge-id-indexed array — no hashing on the
+   relaxation path. *)
+let dijkstra host (load : int array) scratch ~ds ~dt s t =
   let budget = ds.(t) + detour_slack in
-  let states = n * (budget + 1) in
-  let dist = Array.make states max_int in
-  let parent = Array.make states (-1) in
-  let id v h = (v * (budget + 1)) + h in
-  let heap = Heap.create () in
-  dist.(id s 0) <- 0;
+  let width = budget + 1 in
+  let states = Graph.n host * width in
+  prepare scratch states;
+  let dist = scratch.dist
+  and parent = scratch.parent
+  and stamp = scratch.stamp
+  and gen = scratch.gen
+  and heap = scratch.heap in
+  let get st = if stamp.(st) = gen then dist.(st) else max_int in
+  let set st d p =
+    dist.(st) <- d;
+    parent.(st) <- p;
+    stamp.(st) <- gen
+  in
+  let id v h = (v * width) + h in
+  set (id s 0) 0 (-1);
   Heap.push heap ~key:0 (id s 0);
   let goal = ref (-1) in
   while !goal < 0 && not (Heap.is_empty heap) do
     match Heap.pop_min heap with
     | None -> goal := -2
     | Some (d, st) ->
-        let u = st / (budget + 1) and h = st mod (budget + 1) in
+        let u = st / width and h = st mod width in
         if u = t then goal := st
-        else if d <= dist.(st) && h < budget then
-          Graph.iter_neighbours host u (fun v ->
+        else if d <= get st && h < budget then
+          Graph.iter_neighbours_e host u (fun v eid ->
               if dt.(v) >= 0 && h + 1 + dt.(v) <= budget then begin
-                let key = (min u v, max u v) in
-                let l = Option.value ~default:0 (Hashtbl.find_opt load key) in
+                let l = load.(eid) in
                 let c = d + ((l + 1) * (l + 1)) in
                 let st' = id v (h + 1) in
-                if c < dist.(st') then begin
-                  dist.(st') <- c;
-                  parent.(st') <- st;
+                if c < get st' then begin
+                  set st' c st;
                   Heap.push heap ~key:c st'
                 end
               end)
@@ -47,93 +81,100 @@ let dijkstra host load ~ds ~dt s t =
   else if !goal < 0 then None
   else begin
     let rec walk acc st =
-      let v = st / (budget + 1) in
+      let v = st / width in
       if st = id s 0 then v :: acc else walk (v :: acc) parent.(st)
     in
     Some (walk [] !goal)
   end
 
-let bump load a b =
-  let key = (min a b, max a b) in
-  Hashtbl.replace load key (1 + Option.value ~default:0 (Hashtbl.find_opt load key))
-
-let demands (e : Embedding.t) =
-  (* guest edges with distinct endpoint images, longest first *)
+(* Memoised BFS rows, shared between demand sorting and routing (the
+   previous version built a separate table for each). *)
+let row_table host =
   let rows = Hashtbl.create 64 in
-  let dist s v =
-    let row =
-      match Hashtbl.find_opt rows s with
-      | Some r -> r
-      | None ->
-          let r = Graph.bfs e.host s in
-          Hashtbl.replace rows s r;
-          r
-    in
-    row.(v)
-  in
-  Bintree.edges e.tree
-  |> List.filter_map (fun (u, v) ->
-         let a = e.place.(u) and b = e.place.(v) in
-         if a = b then None else Some (dist a b, a, b))
-  |> List.sort (fun (d1, _, _) (d2, _, _) -> compare d2 d1)
+  fun s ->
+    match Hashtbl.find_opt rows s with
+    | Some r -> r
+    | None ->
+        let r = Graph.bfs host s in
+        Hashtbl.replace rows s r;
+        r
 
 let summarise load routes =
-  let congestion = Hashtbl.fold (fun _ c acc -> max c acc) load 0 in
+  let congestion = Array.fold_left max 0 load in
   let max_route_length = List.fold_left (fun acc r -> max acc r) 0 routes in
   let total_route_length = List.fold_left ( + ) 0 routes in
   { congestion; max_route_length; total_route_length }
 
-let route (e : Embedding.t) =
-  let load = Hashtbl.create 256 in
-  let rows = Hashtbl.create 64 in
-  let row s =
-    match Hashtbl.find_opt rows s with
-    | Some r -> r
-    | None ->
-        let r = Graph.bfs e.host s in
-        Hashtbl.replace rows s r;
-        r
+(* Route an explicit demand list over a bare host graph: longest demands
+   first (ties keep list order), each along the load-aware Dijkstra
+   path. This is the engine behind [route] and the public [analyse]. *)
+let route_demands host pairs =
+  let row = row_table host in
+  let load = Array.make (Graph.m host) 0 in
+  let scratch = make_scratch () in
+  let demands =
+    pairs
+    |> List.filter_map (fun (a, b) -> if a = b then None else Some ((row a).(b), a, b))
+    |> List.sort (fun (d1, _, _) (d2, _, _) -> compare d2 d1)
   in
   let lengths =
     List.map
       (fun (_, a, b) ->
-        match dijkstra e.host load ~ds:(row a) ~dt:(row b) a b with
+        match dijkstra host load scratch ~ds:(row a) ~dt:(row b) a b with
         | None -> 0
         | Some path ->
             let rec charge = function
               | x :: (y :: _ as rest) ->
-                  bump load x y;
+                  let eidx = Graph.edge_index host x y in
+                  load.(eidx) <- load.(eidx) + 1;
                   1 + charge rest
               | _ -> 0
             in
             charge path)
-      (demands e)
+      demands
   in
   summarise load lengths
 
+let analyse host pairs = route_demands host pairs
+
+let route (e : Embedding.t) =
+  route_demands e.host
+    (Bintree.edges e.tree |> List.map (fun (u, v) -> (e.place.(u), e.place.(v))))
+
 let baseline (e : Embedding.t) =
-  let load = Hashtbl.create 256 in
-  let parents = Hashtbl.create 64 in
-  let parent_row s =
-    match Hashtbl.find_opt parents s with
+  let host = e.host in
+  (* one bfs_parents call per source supplies both the distance row used
+     for sorting and the parent row walked when charging *)
+  let tbl = Hashtbl.create 64 in
+  let info s =
+    match Hashtbl.find_opt tbl s with
     | Some p -> p
     | None ->
-        let _, p = Graph.bfs_parents e.host s in
-        Hashtbl.replace parents s p;
+        let p = Graph.bfs_parents host s in
+        Hashtbl.replace tbl s p;
         p
+  in
+  let load = Array.make (Graph.m host) 0 in
+  let demands =
+    Bintree.edges e.tree
+    |> List.filter_map (fun (u, v) ->
+           let a = e.place.(u) and b = e.place.(v) in
+           if a = b then None else Some ((fst (info a)).(b), a, b))
+    |> List.sort (fun (d1, _, _) (d2, _, _) -> compare d2 d1)
   in
   let lengths =
     List.map
       (fun (_, a, b) ->
-        let p = parent_row a in
+        let p = snd (info a) in
         let rec walk len v =
           if v = a then len
           else begin
-            bump load v p.(v);
+            let eidx = Graph.edge_index host v p.(v) in
+            load.(eidx) <- load.(eidx) + 1;
             walk (len + 1) p.(v)
           end
         in
         walk 0 b)
-      (demands e)
+      demands
   in
   summarise load lengths

@@ -19,7 +19,16 @@ type result = {
 
 val route : Embedding.t -> result
 (** Deterministic: demands are processed longest-shortest-path first, ties
-    by guest edge order. *)
+    by guest edge order. Edge loads live in a dense array indexed by
+    {!Xt_topology.Graph.edge_index} and the Dijkstra scratch (distance,
+    parent, heap) is reused across demands, so routing allocates no
+    per-route tables. *)
+
+val analyse : Xt_topology.Graph.t -> (int * int) list -> result
+(** [analyse host pairs] routes an explicit demand list over a bare host
+    graph with the same greedy scheme as {!route} (equal-endpoint pairs
+    are dropped). Useful for benchmarking the router on synthetic
+    workloads, e.g. all-pairs traffic on an X-tree. *)
 
 val baseline : Embedding.t -> result
 (** The same accounting for plain BFS-tree shortest-path routing, for

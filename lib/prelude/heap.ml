@@ -8,6 +8,7 @@ let create () = { keys = Array.make 16 0; items = [||]; size = 0 }
 
 let is_empty h = h.size = 0
 let size h = h.size
+let clear h = h.size <- 0
 
 let grow h item =
   if h.size = 0 && Array.length h.items = 0 then begin

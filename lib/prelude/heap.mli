@@ -8,6 +8,10 @@ val create : unit -> 'a t
 val is_empty : 'a t -> bool
 val size : 'a t -> int
 
+val clear : 'a t -> unit
+(** Drop every item in O(1). Capacity is retained, so a cleared heap can
+    be reused without reallocation. *)
+
 val push : 'a t -> key:int -> 'a -> unit
 
 val pop_min : 'a t -> (int * 'a) option

@@ -1,32 +1,230 @@
+(* Persistent domain pool with chunked fork-join primitives.
+
+   One pool per process, created lazily at the first parallel call and
+   kept alive until exit (no Domain.spawn per call). The submitting
+   domain participates in every batch, so a pool of [d] budgeted domains
+   runs batches on [d-1] workers plus the caller. Nested calls (from
+   inside a batch body) run sequentially inline, which makes nesting
+   deadlock-free and keeps per-item execution single-domain. *)
+
 let recommended_domains () =
   let cores = Domain.recommended_domain_count () in
   min 8 (max 1 (cores - 1))
 
-let map ?domains f xs =
-  let domains = match domains with Some d -> max 1 d | None -> recommended_domains () in
-  let items = Array.of_list xs in
-  let n = Array.length items in
-  if n = 0 then []
-  else if domains = 1 || n = 1 then List.map f xs
+let override : int option ref = ref None
+
+let env_domains =
+  lazy
+    (match Sys.getenv_opt "XT_DOMAINS" with
+    | None -> None
+    | Some s -> ( match int_of_string_opt (String.trim s) with Some d when d >= 1 -> Some d | _ -> None))
+
+let domain_budget () =
+  match !override with
+  | Some d -> max 1 d
+  | None -> ( match Lazy.force env_domains with Some d -> d | None -> recommended_domains ())
+
+let set_domain_budget d = override := Some (max 1 d)
+
+(* True while the current domain is executing a batch body (worker or
+   participating caller): parallel calls made from here run inline. *)
+let busy_key = Domain.DLS.new_key (fun () -> false)
+
+let in_parallel_region () = Domain.DLS.get busy_key
+
+(* ------------------------------------------------------------------ *)
+(* Batches                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type batch = {
+  n : int;                      (* item count *)
+  chunk : int;                  (* items per chunk *)
+  chunks : int;                 (* ceil (n / chunk) *)
+  body : int -> unit;
+  next : int Atomic.t;          (* next unclaimed chunk *)
+  completed : int Atomic.t;     (* chunks accounted for *)
+  failed : (int * exn) option Atomic.t; (* lowest failed item index *)
+}
+
+let first_failed b = match Atomic.get b.failed with None -> max_int | Some (i, _) -> i
+
+(* Keep the failure with the smallest item index: the propagated
+   exception is then exactly the one sequential execution would raise
+   first, because every item below the final minimum still runs. *)
+let record_failure b i e =
+  let rec cas () =
+    let cur = Atomic.get b.failed in
+    let better = match cur with None -> true | Some (j, _) -> i < j in
+    if better && not (Atomic.compare_and_set b.failed cur (Some (i, e))) then cas ()
+  in
+  cas ()
+
+(* Claim chunks until exhausted. Chunks entirely above the current first
+   failure are skipped; a running chunk re-checks the failure frontier
+   before every item, so workers stop promptly once something fails
+   while still executing every item that precedes the failure. *)
+let run_batch b =
+  let continue_ = ref true in
+  while !continue_ do
+    let c = Atomic.fetch_and_add b.next 1 in
+    if c >= b.chunks then continue_ := false
+    else begin
+      let lo = c * b.chunk in
+      let hi = min b.n (lo + b.chunk) in
+      let j = ref lo in
+      while !j < hi && !j < first_failed b do
+        (try b.body !j with e -> record_failure b !j e);
+        incr j
+      done;
+      Atomic.incr b.completed
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The pool                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type pool = {
+  m : Mutex.t;
+  work_cv : Condition.t;
+  done_cv : Condition.t;
+  mutable current : batch option;
+  mutable gen : int;
+  mutable shutdown : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let worker_loop pool =
+  Domain.DLS.set busy_key true;
+  let last_gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.m;
+    while (not pool.shutdown) && (pool.gen <= !last_gen || pool.current = None) do
+      Condition.wait pool.work_cv pool.m
+    done;
+    if pool.shutdown then begin
+      Mutex.unlock pool.m;
+      running := false
+    end
+    else begin
+      let b = Option.get pool.current in
+      last_gen := pool.gen;
+      Mutex.unlock pool.m;
+      run_batch b;
+      if Atomic.get b.completed >= b.chunks then begin
+        Mutex.lock pool.m;
+        Condition.broadcast pool.done_cv;
+        Mutex.unlock pool.m
+      end
+    end
+  done
+
+let the_pool =
+  lazy
+    (let pool =
+       {
+         m = Mutex.create ();
+         work_cv = Condition.create ();
+         done_cv = Condition.create ();
+         current = None;
+         gen = 0;
+         shutdown = false;
+         workers = [||];
+       }
+     in
+     let workers = max 0 (domain_budget () - 1) in
+     pool.workers <- Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+     at_exit (fun () ->
+         Mutex.lock pool.m;
+         pool.shutdown <- true;
+         Condition.broadcast pool.work_cv;
+         Mutex.unlock pool.m;
+         Array.iter Domain.join pool.workers);
+     pool)
+
+(* ------------------------------------------------------------------ *)
+(* Fork-join primitives                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sequential_for n body =
+  for i = 0 to n - 1 do
+    body i
+  done
+
+let parallel_for ?domains ?chunk n body =
+  if n < 0 then invalid_arg "Parallel.parallel_for";
+  let budget = match domains with Some d -> max 1 (min d (domain_budget ())) | None -> domain_budget () in
+  if n = 0 then ()
+  else if budget <= 1 || n = 1 || in_parallel_region () then sequential_for n body
   else begin
-    let results = Array.make n None in
-    let failure = Atomic.make None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let continue_ = ref true in
-      while !continue_ do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n || Atomic.get failure <> None then continue_ := false
-        else
-          try results.(i) <- Some (f items.(i))
-          with e -> ignore (Atomic.compare_and_set failure None (Some e))
-      done
-    in
-    let workers = List.init (min domains n) (fun _ -> Domain.spawn worker) in
-    List.iter Domain.join workers;
-    (match Atomic.get failure with Some e -> raise e | None -> ());
-    Array.to_list
-      (Array.map (function Some r -> r | None -> failwith "Parallel.map: missing result") results)
+    let pool = Lazy.force the_pool in
+    if Array.length pool.workers = 0 then sequential_for n body
+    else begin
+      let lanes = min budget (Array.length pool.workers + 1) in
+      let chunk =
+        match chunk with
+        | Some c -> max 1 c
+        | None -> max 1 ((n + (4 * lanes) - 1) / (4 * lanes))
+      in
+      let chunks = (n + chunk - 1) / chunk in
+      let b =
+        {
+          n;
+          chunk;
+          chunks;
+          body;
+          next = Atomic.make 0;
+          completed = Atomic.make 0;
+          failed = Atomic.make None;
+        }
+      in
+      Mutex.lock pool.m;
+      pool.current <- Some b;
+      pool.gen <- pool.gen + 1;
+      Condition.broadcast pool.work_cv;
+      Mutex.unlock pool.m;
+      Domain.DLS.set busy_key true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set busy_key false)
+        (fun () -> run_batch b);
+      Mutex.lock pool.m;
+      while Atomic.get b.completed < b.chunks do
+        Condition.wait pool.done_cv pool.m
+      done;
+      if pool.current == Some b then pool.current <- None;
+      Mutex.unlock pool.m;
+      match Atomic.get b.failed with Some (_, e) -> raise e | None -> ()
+    end
   end
 
+let map_array ?domains ?chunk f xs =
+  let n = Array.length xs in
+  let out = Array.make n None in
+  parallel_for ?domains ?chunk n (fun i -> out.(i) <- Some (f xs.(i)));
+  Array.map (function Some r -> r | None -> failwith "Parallel.map_array: missing result") out
+
+let map ?domains f xs = Array.to_list (map_array ?domains f (Array.of_list xs))
+
 let iter ?domains f xs = ignore (map ?domains (fun x -> f x) xs)
+
+let map_reduce ?domains ~map:m ~combine init xs =
+  let n = Array.length xs in
+  if n = 0 then init
+  else begin
+    let budget = match domains with Some d -> max 1 d | None -> domain_budget () in
+    let chunk = max 1 ((n + (4 * budget) - 1) / (4 * budget)) in
+    let chunks = (n + chunk - 1) / chunk in
+    let partials = Array.make chunks None in
+    parallel_for ?domains ~chunk:1 chunks (fun c ->
+        let lo = c * chunk in
+        let hi = min n (lo + chunk) in
+        let acc = ref (m xs.(lo)) in
+        for i = lo + 1 to hi - 1 do
+          acc := combine !acc (m xs.(i))
+        done;
+        partials.(c) <- Some !acc);
+    Array.fold_left
+      (fun acc p -> match p with Some v -> combine acc v | None -> acc)
+      init partials
+  end

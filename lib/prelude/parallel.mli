@@ -1,17 +1,58 @@
-(** Minimal fork–join parallelism over OCaml 5 domains.
+(** Fork–join parallelism over a persistent OCaml 5 domain pool.
 
-    Used by the experiment harness to run independent embeddings (one per
-    family × size cell) on separate cores. Work items must be pure or own
-    their mutable state — nothing here synchronises shared data beyond the
-    work queue itself. *)
+    A single pool of worker domains is created lazily at the first
+    parallel call and reused for the rest of the process (no
+    [Domain.spawn] per call). The submitting domain always participates
+    in its own batch, so a budget of [d] domains runs work on [d-1] pool
+    workers plus the caller.
+
+    Work items must be pure or own their mutable state — nothing here
+    synchronises shared data beyond the work queue itself. Calls made
+    from {e inside} a parallel batch (nested parallelism) run
+    sequentially inline, which makes nesting deadlock-free.
+
+    The domain budget resolves, in order: {!set_domain_budget} override,
+    the [XT_DOMAINS] environment variable, {!recommended_domains}.
+    [XT_DOMAINS=1] forces every primitive down its sequential path. *)
 
 val recommended_domains : unit -> int
 (** [max 1 (cores - 1)], capped at 8. *)
 
+val domain_budget : unit -> int
+(** The resolved number of domains a parallel call may use ([>= 1]). *)
+
+val set_domain_budget : int -> unit
+(** Process-wide override (e.g. a [--jobs N] flag). Values [< 1] clamp
+    to 1. Must be called before the first parallel call to affect the
+    pool size; later calls only cap per-call parallelism. *)
+
+val in_parallel_region : unit -> bool
+(** True while the calling domain is executing a batch body; parallel
+    calls made here run inline. *)
+
+val parallel_for : ?domains:int -> ?chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_for n body] runs [body i] for [i = 0 .. n-1], distributing
+    contiguous chunks of indices over the pool. [?domains] caps the
+    parallelism of this call; [?chunk] fixes the chunk size (default:
+    about four chunks per available domain).
+
+    Failure protocol: once an item raises, no item above the lowest
+    failed index is started (workers stop promptly), while every item
+    {e below} it still runs — so the exception propagated after the join
+    is deterministically the one sequential execution would raise
+    first. *)
+
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map f xs] applies [f] to every element, distributing items over
-    [domains] worker domains (default {!recommended_domains}; [1] runs
-    sequentially in the calling domain). Order is preserved. The first
-    exception raised by any item is re-raised after all workers join. *)
+(** Order-preserving parallel map with the {!parallel_for} failure
+    protocol. *)
+
+val map_array : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 
 val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit
+
+val map_reduce :
+  ?domains:int -> map:('a -> 'b) -> combine:('b -> 'b -> 'b) -> 'b -> 'a array -> 'b
+(** [map_reduce ~map ~combine init xs] folds [combine] over the mapped
+    items in index order (chunk partials are combined left to right), so
+    the result is deterministic for associative [combine] even when it
+    is not commutative. *)

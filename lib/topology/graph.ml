@@ -3,6 +3,7 @@ type t = {
   m : int;
   row : int array; (* length n+1, CSR row offsets *)
   col : int array; (* length 2*m, sorted within each row *)
+  eid : int array; (* length 2*m, edge id of (u, col.(k)); both directions share one id *)
 }
 
 let of_edges ~n edges =
@@ -46,7 +47,40 @@ let of_edges ~n edges =
     Array.sort compare slice;
     Array.blit slice 0 col lo (hi - lo)
   done;
-  { n; m; row; col }
+  (* Edge ids: number the (u < v) edges in sorted order, then stamp both
+     CSR directions so hot paths can index edge-keyed arrays in O(1). *)
+  let eid = Array.make (2 * m) (-1) in
+  let g = { n; m; row; col; eid } in
+  let next = ref 0 in
+  for u = 0 to n - 1 do
+    for k = row.(u) to row.(u + 1) - 1 do
+      if col.(k) > u then begin
+        eid.(k) <- !next;
+        incr next
+      end
+    done
+  done;
+  (* second pass: mirror ids onto the (v, u) direction *)
+  let find g u v =
+    let lo = ref g.row.(u) and hi = ref (g.row.(u + 1) - 1) in
+    let pos = ref (-1) in
+    while !pos < 0 && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let w = g.col.(mid) in
+      if w = v then pos := mid else if w < v then lo := mid + 1 else hi := mid - 1
+    done;
+    !pos
+  in
+  for u = 0 to n - 1 do
+    for k = row.(u) to row.(u + 1) - 1 do
+      let v = col.(k) in
+      if v > u then begin
+        let back = find g v u in
+        eid.(back) <- eid.(k)
+      end
+    done
+  done;
+  g
 
 let n g = g.n
 let m g = g.m
@@ -65,6 +99,21 @@ let iter_neighbours g v f =
   for i = g.row.(v) to g.row.(v + 1) - 1 do
     f g.col.(i)
   done
+
+let iter_neighbours_e g v f =
+  for i = g.row.(v) to g.row.(v + 1) - 1 do
+    f g.col.(i) g.eid.(i)
+  done
+
+let edge_index g u v =
+  let lo = ref g.row.(u) and hi = ref (g.row.(u + 1) - 1) in
+  let pos = ref (-1) in
+  while !pos < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = g.col.(mid) in
+    if w = v then pos := mid else if w < v then lo := mid + 1 else hi := mid - 1
+  done;
+  if !pos < 0 then invalid_arg "Graph.edge_index: not an edge" else g.eid.(!pos)
 
 let has_edge g u v =
   let lo = ref g.row.(u) and hi = ref (g.row.(u + 1) - 1) in

@@ -27,6 +27,16 @@ val neighbours : t -> int -> int array
 
 val iter_neighbours : t -> int -> (int -> unit) -> unit
 
+val iter_neighbours_e : t -> int -> (int -> int -> unit) -> unit
+(** [iter_neighbours_e g v f] calls [f w eid] for every neighbour [w],
+    where [eid] is the undirected edge id of [{v,w}] — a dense index in
+    [0 .. m-1] shared by both directions, suitable for edge-keyed
+    arrays. *)
+
+val edge_index : t -> int -> int -> int
+(** The undirected edge id of [{u,v}] (order-insensitive). O(log degree).
+    Raises [Invalid_argument] if [{u,v}] is not an edge. *)
+
 val has_edge : t -> int -> int -> bool
 (** Binary search in the sorted adjacency: O(log degree). *)
 

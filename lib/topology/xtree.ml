@@ -91,17 +91,42 @@ let leaves t = vertices_at_level t t.height
 
 let mem t v = v >= 0 && v < order t
 
+(* Exact closed forms that need no BFS. Ancestor pairs: every edge
+   changes the level by at most one, so the tree path of [level
+   difference] edges is optimal. Same-level pairs: the climb-run-descend
+   minimum over meeting levels is optimal (paths that dip below the
+   common level only double the horizontal gap; see E17, which checks
+   the analytic form against BFS on every pair up to height 8). *)
+let closed_form_distance u v =
+  let lu = level u and lv = level v in
+  if lu = lv then begin
+    let ku = index u and kv = index v in
+    let best = ref max_int in
+    for l = 0 to lu do
+      let gap = abs ((ku lsr (lu - l)) - (kv lsr (lv - l))) in
+      let cost = (2 * (lu - l)) + gap in
+      if cost < !best then best := cost
+    done;
+    Some !best
+  end
+  else if is_ancestor u v then Some (lv - lu)
+  else if is_ancestor v u then Some (lu - lv)
+  else None
+
 let distance t u v =
   if not (mem t u && mem t v) then invalid_arg "Xtree.distance";
-  let row =
-    match t.dist_rows.(u) with
-    | Some row -> row
-    | None ->
-        let row = Graph.bfs t.graph u in
-        t.dist_rows.(u) <- Some row;
-        row
-  in
-  row.(v)
+  match closed_form_distance u v with
+  | Some d -> d
+  | None ->
+      let row =
+        match t.dist_rows.(u) with
+        | Some row -> row
+        | None ->
+            let row = Graph.bfs t.graph u in
+            t.dist_rows.(u) <- Some row;
+            row
+      in
+      row.(v)
 
 (* N(a), Figure 2: horizontal displacement by at most 3 on a's own level,
    or one/two downward steps followed by horizontal displacement by at most

@@ -73,7 +73,10 @@ val mem : t -> vertex -> bool
 (** Does this vertex id exist in [X(r)]? *)
 
 val distance : t -> vertex -> vertex -> int
-(** Exact hop distance in [X(r)] (BFS, memoised per source). *)
+(** Exact hop distance in [X(r)]. Ancestor pairs (level difference) and
+    same-level pairs (climb–run–descend minimum) are answered in closed
+    form without touching the graph; other pairs fall back to BFS rows
+    memoised per source. *)
 
 val neighbourhood : t -> vertex -> vertex list
 (** The set [N(a)] of the paper's Figure 2: vertices of [X(r)] reachable

@@ -22,6 +22,20 @@ Theorem 1 embedding of the paper's exact size for X(3):
   host: X(3) with 15 vertices; fallbacks=0
   condition (3'): 239/239 edges ok; max level gap 2
 
+Parallel sweeps cannot change the embedding: --jobs runs the Theorem 1
+rounds on a domain pool, and the result is bit-identical to the default
+sequential run. XT_DOMAINS=1 forces the sequential path; same output:
+
+  $ xtree embed -f uniform -n 1008 -s 7 --jobs 4
+  theorem1: dilation=3 avg=0.33 load=16 expansion=0.062 congestion=12
+  host: X(5) with 63 vertices; fallbacks=0
+  condition (3'): 1004/1007 edges ok; max level gap 2
+
+  $ XT_DOMAINS=1 xtree embed -f uniform -n 1008 -s 7
+  theorem1: dilation=3 avg=0.33 load=16 expansion=0.062 congestion=12
+  host: X(5) with 63 vertices; fallbacks=0
+  condition (3'): 1004/1007 edges ok; max level gap 2
+
 An embedding read back from a file, with the repair pass:
 
   $ xtree embed -i tree.txt --repair

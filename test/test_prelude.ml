@@ -167,6 +167,54 @@ let test_recommended_domains () =
   checkb "at least one" true (Parallel.recommended_domains () >= 1);
   checkb "capped" true (Parallel.recommended_domains () <= 8)
 
+(* Pool determinism: a 10k-item map over the pool must equal the
+   sequential map, element for element. *)
+let test_parallel_large_map_deterministic () =
+  let xs = Array.init 10_000 (fun i -> i) in
+  let f x = (x * 37) lxor (x lsr 3) in
+  let expected = Array.map f xs in
+  Alcotest.(check (array int)) "10k items" expected (Parallel.map_array ~domains:4 f xs);
+  Alcotest.(check (array int)) "repeat run" expected (Parallel.map_array ~domains:4 f xs)
+
+(* Nested parallel calls run inline instead of deadlocking on the pool. *)
+let test_parallel_nested_no_deadlock () =
+  let rows =
+    Parallel.map ~domains:4
+      (fun i -> Parallel.map ~domains:4 (fun j -> (10 * i) + j) [ 0; 1; 2 ])
+      (List.init 20 Fun.id)
+  in
+  List.iteri
+    (fun i row -> Alcotest.(check (list int)) "nested row" [ 10 * i; (10 * i) + 1; (10 * i) + 2 ] row)
+    rows
+
+(* Failure protocol: with several failing items, the propagated exception
+   is deterministically the one sequential execution hits first. *)
+let test_parallel_first_exception () =
+  for _ = 1 to 20 do
+    match
+      Parallel.map ~domains:4 (fun x -> if x >= 3 then failwith (string_of_int x) else x)
+        (List.init 200 Fun.id)
+    with
+    | _ -> Alcotest.fail "expected an exception"
+    | exception Failure msg -> Alcotest.(check string) "lowest failing item" "3" msg
+  done
+
+(* map_reduce combines chunk partials in index order, so even a
+   non-commutative combine is deterministic. *)
+let test_parallel_map_reduce_ordered () =
+  let xs = Array.init 100 (fun i -> i) in
+  let expected = Array.fold_left (fun acc x -> acc ^ "," ^ string_of_int x) "" xs in
+  Alcotest.(check string) "concat in order" expected
+    (Parallel.map_reduce ~domains:4 ~map:string_of_int ~combine:(fun a b -> a ^ "," ^ b) "" xs);
+  check "sum" (99 * 100 / 2)
+    (Parallel.map_reduce ~domains:4 ~map:Fun.id ~combine:( + ) 0 xs)
+
+let test_parallel_for_covers_all () =
+  let n = 5000 in
+  let hits = Array.make n 0 in
+  Parallel.parallel_for ~domains:4 ~chunk:7 n (fun i -> hits.(i) <- hits.(i) + 1);
+  checkb "each index exactly once" true (Array.for_all (fun c -> c = 1) hits)
+
 let suite =
   suite
   @ [
@@ -176,6 +224,11 @@ let suite =
       ("parallel computes", `Quick, test_parallel_actually_computes);
       ("parallel iter", `Quick, test_parallel_iter);
       ("recommended domains", `Quick, test_recommended_domains);
+      ("parallel 10k deterministic", `Quick, test_parallel_large_map_deterministic);
+      ("parallel nested", `Quick, test_parallel_nested_no_deadlock);
+      ("parallel first exception", `Quick, test_parallel_first_exception);
+      ("parallel map_reduce ordered", `Quick, test_parallel_map_reduce_ordered);
+      ("parallel_for covers all", `Quick, test_parallel_for_covers_all);
     ]
 
 (* ---------------- CSV ---------------- *)

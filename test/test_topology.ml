@@ -304,6 +304,35 @@ let test_route_is_shortest () =
     end
   done
 
+(* The closed-form fast paths inside [Xtree.distance] (ancestor pairs,
+   same-level pairs) and the memoised BFS fallback must all agree with a
+   plain graph BFS — checked on every pair of X(6). *)
+let test_xtree_distance_matches_bfs () =
+  let t = Xtree.create ~height:6 in
+  let g = Xtree.graph t in
+  for a = 0 to Xtree.order t - 1 do
+    let row = Graph.bfs g a in
+    for b = 0 to Xtree.order t - 1 do
+      check
+        (Printf.sprintf "%s-%s" (Xtree.to_string a) (Xtree.to_string b))
+        row.(b) (Xtree.distance t a b)
+    done
+  done
+
+let test_graph_edge_ids () =
+  let g = Graph.of_edges ~n:5 [ (0, 1); (1, 2); (2, 3); (3, 0); (1, 3) ] in
+  let m = Graph.m g in
+  let seen = Array.make m 0 in
+  for v = 0 to 4 do
+    Graph.iter_neighbours_e g v (fun w eid ->
+        checkb "id in range" true (eid >= 0 && eid < m);
+        check "same id both directions" eid (Graph.edge_index g w v);
+        seen.(eid) <- seen.(eid) + 1)
+  done;
+  Array.iter (fun c -> check "each id on exactly two arcs" 2 c) seen;
+  Alcotest.check_raises "not an edge" (Invalid_argument "Graph.edge_index: not an edge")
+    (fun () -> ignore (Graph.edge_index g 0 2))
+
 let test_route_next_hop_validation () =
   let t = Xtree.create ~height:3 in
   Alcotest.check_raises "same vertex" (Invalid_argument "Xtree.route_next_hop: already there")
@@ -313,6 +342,8 @@ let suite =
   suite
   @ [
       ("analytic distance exact", `Slow, test_analytic_distance_exact);
+      ("xtree distance = bfs on X(6)", `Slow, test_xtree_distance_matches_bfs);
+      ("graph edge ids", `Quick, test_graph_edge_ids);
       ("greedy route is shortest", `Quick, test_route_is_shortest);
       ("route next hop validation", `Quick, test_route_next_hop_validation);
     ]
