@@ -34,14 +34,21 @@ let json_escape s =
 
 (* Machine-readable run record. [speedup_vs_sequential] is estimated from
    one run as (sum of per-job times) / wall: the jobs are independent, so
-   the sum approximates the sequential wall-clock on the same machine. *)
+   the sum approximates the sequential wall-clock on the same machine.
+   That estimate only means anything when the machine actually has a core
+   per domain — with domains oversubscribed onto fewer cores the jobs
+   time-slice and the ratio flatters the run — so
+   [speedup_estimate_reliable] records whether cores >= domains. *)
 let write_json file ~jobs_flag ~smoke ~wall timings =
   let sum = List.fold_left (fun acc t -> acc +. t.Tables.seconds) 0. timings in
+  let cores = Domain.recommended_domain_count () in
+  let domains = Xt_prelude.Parallel.domain_budget () in
+  let counters = (Xt_obs.Obs.drain ()).Xt_obs.Obs.counters in
   let oc = open_out file in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"bench\": \"tables\",\n";
-  Printf.fprintf oc "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
-  Printf.fprintf oc "  \"domains\": %d,\n" (Xt_prelude.Parallel.domain_budget ());
+  Printf.fprintf oc "  \"cores\": %d,\n" cores;
+  Printf.fprintf oc "  \"domains\": %d,\n" domains;
   Printf.fprintf oc "  \"jobs_flag\": %d,\n" jobs_flag;
   Printf.fprintf oc "  \"smoke\": %b,\n" smoke;
   Printf.fprintf oc "  \"stages\": [\n";
@@ -52,9 +59,17 @@ let write_json file ~jobs_flag ~smoke ~wall timings =
         (if i = List.length timings - 1 then "" else ","))
     timings;
   Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"counters\": {\n";
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "    \"%s\": %d%s\n" (json_escape name) v
+        (if i = List.length counters - 1 then "" else ","))
+    counters;
+  Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"sum_seconds\": %.6f,\n" sum;
   Printf.fprintf oc "  \"wall_seconds\": %.6f,\n" wall;
-  Printf.fprintf oc "  \"speedup_vs_sequential\": %.3f\n" (if wall > 0. then sum /. wall else 1.);
+  Printf.fprintf oc "  \"speedup_vs_sequential\": %.3f,\n" (if wall > 0. then sum /. wall else 1.);
+  Printf.fprintf oc "  \"speedup_estimate_reliable\": %b\n" (cores >= domains);
   Printf.fprintf oc "}\n";
   close_out oc
 
@@ -82,10 +97,14 @@ let () =
   print_endline "==============================================================================";
   print_newline ();
   if tables then begin
+    let json_file = find_value "--json" args in
+    (* The JSON record carries the work counters, so count while the
+       tables run; without --json the harness stays instrumentation-free. *)
+    if json_file <> None then Xt_obs.Obs.enable_metrics ();
     let t0 = Unix.gettimeofday () in
     let timings = Tables.run_jobs ~smoke () in
     let wall = Unix.gettimeofday () -. t0 in
-    match find_value "--json" args with
+    match json_file with
     | Some file -> write_json file ~jobs_flag ~smoke ~wall timings
     | None -> ()
   end;

@@ -4,6 +4,7 @@
    neighbourhood. Every command is deterministic given --seed. *)
 
 open Cmdliner
+open Xt_obs
 open Xt_prelude
 open Xt_topology
 open Xt_bintree
@@ -49,6 +50,36 @@ let make_tree family size seed =
 let input_arg =
   let doc = "Read the guest tree from $(docv) (Codec format) instead of generating one." in
   Arg.(value & opt (some string) None & info [ "i"; "input" ] ~docv:"FILE" ~doc)
+
+(* ---------------- telemetry flags ---------------- *)
+
+let chrome_trace_arg =
+  let doc =
+    "Record span tracing and write a Chrome trace-event JSON file to $(docv) \
+     (load it in Perfetto or chrome://tracing; one track per domain)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Record work metrics and print the merged counters/gauges/histograms on exit." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let obs_begin ~trace ~metrics =
+  if metrics then Obs.enable_metrics ();
+  if trace <> None then Obs.enable_tracing ()
+
+let obs_end ~trace ~metrics =
+  (match trace with
+  | Some file ->
+      Obs.write_trace file;
+      Printf.printf "trace written to %s\n" file
+  | None -> ());
+  if metrics then begin
+    let b = Buffer.create 1024 in
+    Obs.pp_dump b (Obs.drain ());
+    print_string "== metrics ==\n";
+    print_string (Buffer.contents b)
+  end
 
 let load_tree family size seed input =
   match input with
@@ -115,9 +146,9 @@ let algorithm_arg =
   let doc = "Embedding algorithm: theorem1, theorem2 (injective), bisection, dfs, bfs." in
   Arg.(value & opt algorithm_conv Theorem1_alg & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
 
-let trace_arg =
+let weight_trace_arg =
   let doc = "Print the per-round weight-imbalance trace (Theorem 1 only)." in
-  Arg.(value & flag & info [ "trace" ] ~doc)
+  Arg.(value & flag & info [ "weight-trace" ] ~doc)
 
 let repair_arg =
   let doc = "Run the local-search repair pass after Theorem 1." in
@@ -143,10 +174,12 @@ let svg_arg =
   let doc = "Write a self-contained SVG rendering of the embedding to $(docv) (Theorem 1 only)." in
   Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
 
-let embed_run family size seed capacity algorithm trace repair input dot svg jobs =
+let embed_run family size seed capacity algorithm trace repair input dot svg jobs chrome_trace
+    metrics =
   (match jobs with Some n -> Parallel.set_domain_budget n | None -> ());
+  obs_begin ~trace:chrome_trace ~metrics;
   let t = load_tree family size seed input in
-  match algorithm with
+  (match algorithm with
   | Theorem1_alg ->
       let res = Theorem1.embed ~capacity ~record_trace:trace t in
       let res =
@@ -201,7 +234,8 @@ let embed_run family size seed capacity algorithm trace repair input dot svg job
       print_report "dfs-layout" res.Order_layout.embedding None
   | Bfs ->
       let res = Order_layout.embed ~capacity ~order:Order_layout.Bfs t in
-      print_report "bfs-layout" res.Order_layout.embedding None
+      print_report "bfs-layout" res.Order_layout.embedding None);
+  obs_end ~trace:chrome_trace ~metrics
 
 let embed_cmd =
   let doc = "Embed a guest tree into an X-tree and report dilation/load/expansion." in
@@ -209,7 +243,8 @@ let embed_cmd =
     (Cmd.info "embed" ~doc)
     Term.(
       const embed_run $ family_arg $ size_arg $ seed_arg $ capacity_arg $ algorithm_arg
-      $ trace_arg $ repair_arg $ input_arg $ dot_arg $ svg_arg $ jobs_arg)
+      $ weight_trace_arg $ repair_arg $ input_arg $ dot_arg $ svg_arg $ jobs_arg
+      $ chrome_trace_arg $ metrics_arg)
 
 (* ---------------- hypercube ---------------- *)
 
@@ -265,23 +300,38 @@ let workload_arg =
   let doc = Printf.sprintf "Workload: %s." (String.concat ", " names) in
   Arg.(value & opt string "reduction" & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc)
 
-let simulate_run family size seed workload =
+let simulate_run family size seed workload chrome_trace metrics =
   match List.find_opt (fun (w : Workload.spec) -> w.Workload.name = workload) Workload.workloads with
   | None ->
       Printf.eprintf "unknown workload %S\n" workload;
       exit 2
   | Some w ->
+      obs_begin ~trace:chrome_trace ~metrics;
       let t = make_tree family size seed in
       let res = Theorem1.embed t in
       let native = Workload.run_native w t in
-      let embedded = Workload.run_embedded w res.Theorem1.embedding in
+      let sim, embedded = Workload.run_on w res.Theorem1.embedding in
       Printf.printf "%s on %s (n=%d): native=%d cycles, on X(%d)=%d cycles, slowdown %.2fx\n"
         workload family size native res.Theorem1.height embedded
-        (float_of_int embedded /. float_of_int (max 1 native))
+        (float_of_int embedded /. float_of_int (max 1 native));
+      let lats = Sim.latencies sim in
+      if Array.length lats > 0 then begin
+        let q = Stats.quantiles_of_ints lats in
+        let busiest = Stats.max_int_array (Sim.link_loads sim) in
+        Printf.printf
+          "latency cycles: p50=%.0f p90=%.0f p99=%.0f max=%d; busiest link carried %d, max queue %d\n"
+          q.Stats.p50 q.Stats.p90 q.Stats.p99
+          (Stats.max_int_array lats) busiest (Sim.max_link_queue sim)
+      end;
+      obs_end ~trace:chrome_trace ~metrics
 
 let simulate_cmd =
   let doc = "Simulate a tree workload natively and on the embedded X-tree network." in
-  Cmd.v (Cmd.info "simulate" ~doc) Term.(const simulate_run $ family_arg $ size_arg $ seed_arg $ workload_arg)
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const simulate_run $ family_arg $ size_arg $ seed_arg $ workload_arg $ chrome_trace_arg
+      $ metrics_arg)
 
 (* ---------------- neighbourhood ---------------- *)
 

@@ -1,5 +1,13 @@
+open Xt_obs
 open Xt_topology
 open Xt_bintree
+
+(* Work counters: totals depend only on the embedding computed, not on
+   how the sweep was scheduled, so they match across domain budgets. *)
+let c_active = Obs.counter "adjust.active_calls"
+let c_whole = Obs.counter "adjust.whole_moves"
+let c_splits = Obs.counter "adjust.lemma_splits"
+let c_nodes = Obs.counter "adjust.nodes_moved"
 
 (* Descend from [v] appending bit [b] until reaching [lvl]. *)
 let rec spine v b lvl = if Xtree.level v >= lvl then v else spine (Xtree.child v b) b lvl
@@ -28,6 +36,7 @@ let run st ~round:i ~a =
   match plan st ~round:i ~a with
   | None -> ()
   | Some { donor_leaf; donor_new; receiver_new; delta; receiver_leaf = _ } ->
+      Obs.incr c_active;
       (* Budgets: at most 4 nodes laid per new leaf by one ADJUST call. *)
       let budget_donor = ref 4 and budget_recv = ref 4 in
       let remaining = ref delta in
@@ -52,6 +61,8 @@ let run st ~round:i ~a =
               State.detach st ~vertex:donor_leaf piece;
               Moves.apply_split st ~max_level:i ~floor_level:(i - 1) sp ~dest1:donor_new
                 ~dest2:receiver_new;
+              Obs.incr c_splits;
+              Obs.add c_nodes !remaining;
               continue_ := false
           | Some piece
             when !budget_donor >= 4 && !budget_recv >= 2 && 3 * piece.State.size > 4 * !remaining ->
@@ -60,6 +71,8 @@ let run st ~round:i ~a =
               State.detach st ~vertex:donor_leaf piece;
               Moves.apply_split st ~max_level:i ~floor_level:(i - 1) sp ~dest1:donor_new
                 ~dest2:receiver_new;
+              Obs.incr c_splits;
+              Obs.add c_nodes !remaining;
               continue_ := false
           | _ ->
               (* Case B/C: move the largest whole piece across, budget
@@ -76,6 +89,8 @@ let run st ~round:i ~a =
               if piece.State.size <= !remaining && !budget_recv >= cost then begin
                 State.detach st ~vertex:donor_leaf piece;
                 Moves.move_whole st ~max_level:i ~floor_level:(i - 1) piece ~dest:receiver_new;
+                Obs.incr c_whole;
+                Obs.add c_nodes piece.State.size;
                 budget_recv := !budget_recv - cost;
                 remaining := !remaining - piece.State.size
               end

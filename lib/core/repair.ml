@@ -1,6 +1,10 @@
+open Xt_obs
 open Xt_topology
 open Xt_bintree
 open Xt_embedding
+
+let c_swaps = Obs.counter "repair.swaps"
+let c_fixed = Obs.counter "repair.fixed_violations"
 
 type report = {
   swaps : int;
@@ -99,13 +103,16 @@ let improve ?(max_rounds = 8) xt (e : Embedding.t) =
     !changed
   in
   let rec loop k = if k > 0 && round () then loop (k - 1) in
-  loop max_rounds;
+  Obs.span "repair.improve" (fun () -> loop max_rounds);
   let repaired = Embedding.make ~tree:e.tree ~host:e.host ~place in
+  let violations_after = violations () in
+  Obs.add c_swaps !swaps;
+  Obs.add c_fixed (max 0 (violations_before - violations_after));
   ( repaired,
     {
       swaps = !swaps;
       violations_before;
-      violations_after = violations ();
+      violations_after;
       dilation_before;
       dilation_after = dilation ();
     } )

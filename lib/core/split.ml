@@ -1,5 +1,12 @@
+open Xt_obs
 open Xt_topology
 open Xt_bintree
+
+(* Work counters; like ADJUST's they are schedule-independent. *)
+let c_calls = Obs.counter "split.calls"
+let c_pieces = Obs.counter "split.pieces"
+let c_balance = Obs.counter "split.balance_splits"
+let c_fill = Obs.counter "split.fill_laid"
 
 let piece_size (p : State.piece) = p.State.size
 
@@ -40,6 +47,8 @@ let run ?(options = Options.default) ?outer_weight st ~round:i ~alpha =
   in
   let at_alpha = State.pieces_at st alpha in
   let prov0 = State.pieces_at st c0 and prov1 = State.pieces_at st c1 in
+  Obs.incr c_calls;
+  Obs.add c_pieces (List.length at_alpha + List.length prov0 + List.length prov1);
   List.iter (fun p -> State.detach st ~vertex:alpha p) at_alpha;
   List.iter (fun p -> State.detach st ~vertex:c0 p) prov0;
   List.iter (fun p -> State.detach st ~vertex:c1 p) prov1;
@@ -120,7 +129,8 @@ let run ?(options = Options.default) ?outer_weight st ~round:i ~alpha =
           if target > 0 then begin
             let sp = Separator.lemma2 st.State.ws (State.separator_piece piece) ~target in
             State.detach st ~vertex:heavy piece;
-            Moves.apply_split st ~max_level:i ~floor_level:i sp ~dest1:heavy ~dest2:light
+            Moves.apply_split st ~max_level:i ~floor_level:i sp ~dest1:heavy ~dest2:light;
+            Obs.incr c_balance
           end
       end
   end;
@@ -138,6 +148,7 @@ let run ?(options = Options.default) ?outer_weight st ~round:i ~alpha =
             | [] -> List.hd p.State.nodes
           in
           State.lay st ~max_level:i ~node:peel ~vertex:child;
+          Obs.incr c_fill;
           let rest = List.filter (fun v -> v <> peel) p.State.nodes in
           Moves.reattach_to st ~vertex:child rest
     done

@@ -1,5 +1,11 @@
+open Xt_obs
 open Xt_topology
 open Xt_bintree
+
+(* How often a forked view's weight update was cut off at its barrier
+   (the sweep driver repays these with one ancestor fixup per vertex).
+   Scheduling-dependent: only forked views have a barrier above root. *)
+let c_barrier_stops = Obs.counter "state.weight_barrier_stops"
 
 type boundary = { bnode : int; anchor : int }
 
@@ -58,7 +64,10 @@ let weight_of st v = st.weight.(v)
 let add_weight st v delta =
   let rec up v =
     st.weight.(v) <- st.weight.(v) + delta;
-    match Xtree.parent v with Some p when p >= st.weight_barrier -> up p | _ -> ()
+    match Xtree.parent v with
+    | Some p when p >= st.weight_barrier -> up p
+    | Some _ -> Obs.incr c_barrier_stops
+    | None -> ()
   in
   up v
 

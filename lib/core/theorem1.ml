@@ -1,7 +1,10 @@
+open Xt_obs
 open Xt_prelude
 open Xt_topology
 open Xt_bintree
 open Xt_embedding
+
+let c_rounds = Obs.counter "theorem1.rounds"
 
 type trace = {
   rounds : int array array;
@@ -305,30 +308,35 @@ let embed ?(capacity = 16) ?height ?(record_trace = false) ?(options = Options.d
   Moves.reattach st ~floor_level:0 ~fallback:Xtree.root rest;
   (* Rounds 1..r. *)
   let rows = ref [] and spread_rows = ref [] in
-  for i = 1 to height do
-    if options.Options.adjust then
-      for j = 0 to i - 2 do
-        sweep st pool ~par ~level:j
-          ~confined_of:(fun own a -> adjust_confined st own ~round:i ~a)
-          ~op:(fun stv a -> Adjust.run stv ~round:i ~a)
-          (Array.of_list (Xtree.vertices_at_level st.State.xt j))
+  Obs.span ~arg:n "theorem1.embed" (fun () ->
+      for i = 1 to height do
+        Obs.span ~arg:i "theorem1.round" @@ fun () ->
+        Obs.incr c_rounds;
+        if options.Options.adjust then
+          for j = 0 to i - 2 do
+            Obs.span ~arg:j "theorem1.adjust-sweep" @@ fun () ->
+            sweep st pool ~par ~level:j
+              ~confined_of:(fun own a -> adjust_confined st own ~round:i ~a)
+              ~op:(fun stv a -> Adjust.run stv ~round:i ~a)
+              (Array.of_list (Xtree.vertices_at_level st.State.xt j))
+          done;
+        (* Snapshot the level-i weights once: every SPLIT of the sweep breaks
+           orientation ties against the same pre-sweep outer weights, in both
+           sequential and parallel execution. *)
+        let level_i = Array.of_list (Xtree.vertices_at_level st.State.xt i) in
+        let outer_snap = Array.map (State.weight_of st) level_i in
+        let outer_weight v = outer_snap.(Xtree.index v) in
+        (Obs.span ~arg:(i - 1) "theorem1.split-sweep" @@ fun () ->
+         sweep st pool ~par ~level:(i - 1)
+           ~confined_of:(fun own alpha -> split_confined st own ~round:i ~alpha)
+           ~op:(fun stv alpha -> Split.run ~options ~outer_weight stv ~round:i ~alpha)
+           (Array.of_list (Xtree.vertices_at_level st.State.xt (i - 1))));
+        if record_trace then begin
+          rows := snapshot st ~height :: !rows;
+          spread_rows := snapshot_spread st ~height :: !spread_rows
+        end
       done;
-    (* Snapshot the level-i weights once: every SPLIT of the sweep breaks
-       orientation ties against the same pre-sweep outer weights, in both
-       sequential and parallel execution. *)
-    let level_i = Array.of_list (Xtree.vertices_at_level st.State.xt i) in
-    let outer_snap = Array.map (State.weight_of st) level_i in
-    let outer_weight v = outer_snap.(Xtree.index v) in
-    sweep st pool ~par ~level:(i - 1)
-      ~confined_of:(fun own alpha -> split_confined st own ~round:i ~alpha)
-      ~op:(fun stv alpha -> Split.run ~options ~outer_weight stv ~round:i ~alpha)
-      (Array.of_list (Xtree.vertices_at_level st.State.xt (i - 1)));
-    if record_trace then begin
-      rows := snapshot st ~height :: !rows;
-      spread_rows := snapshot_spread st ~height :: !spread_rows
-    end
-  done;
-  final_fill st;
+      Obs.span "theorem1.final-fill" (fun () -> final_fill st));
   let embedding = Embedding.make ~tree ~host:(Xtree.graph st.State.xt) ~place:st.State.place in
   {
     embedding;

@@ -1,6 +1,15 @@
+open Xt_obs
 open Xt_prelude
 open Xt_topology
 open Xt_bintree
+
+(* Telemetry. Relaxations are tallied in a local accumulator and flushed
+   once per Dijkstra call, so the inner loop stays free of flag checks. *)
+let c_demands = Obs.counter "congestion.demands"
+let c_relax = Obs.counter "congestion.relaxations"
+let c_scratch_reuse = Obs.counter "congestion.scratch_reuse"
+let c_scratch_alloc = Obs.counter "congestion.scratch_alloc"
+let h_edge_load = Obs.histogram "congestion.edge_load"
 
 type result = { congestion : int; max_route_length : int; total_route_length : int }
 
@@ -27,8 +36,10 @@ let prepare scratch states =
     scratch.dist <- Array.make states max_int;
     scratch.parent <- Array.make states (-1);
     scratch.stamp <- Array.make states 0;
-    scratch.gen <- 0
-  end;
+    scratch.gen <- 0;
+    Obs.incr c_scratch_alloc
+  end
+  else Obs.incr c_scratch_reuse;
   scratch.gen <- scratch.gen + 1;
   Heap.clear scratch.heap
 
@@ -59,6 +70,7 @@ let dijkstra host (load : int array) scratch ~ds ~dt s t =
   set (id s 0) 0 (-1);
   Heap.push heap ~key:0 (id s 0);
   let goal = ref (-1) in
+  let relaxed = ref 0 in
   while !goal < 0 && not (Heap.is_empty heap) do
     match Heap.pop_min heap with
     | None -> goal := -2
@@ -68,6 +80,7 @@ let dijkstra host (load : int array) scratch ~ds ~dt s t =
         else if d <= get st && h < budget then
           Graph.iter_neighbours_e host u (fun v eid ->
               if dt.(v) >= 0 && h + 1 + dt.(v) <= budget then begin
+                incr relaxed;
                 let l = load.(eid) in
                 let c = d + ((l + 1) * (l + 1)) in
                 let st' = id v (h + 1) in
@@ -77,6 +90,7 @@ let dijkstra host (load : int array) scratch ~ds ~dt s t =
                 end
               end)
   done;
+  Obs.add c_relax !relaxed;
   if s = t then Some [ s ]
   else if !goal < 0 then None
   else begin
@@ -109,6 +123,7 @@ let summarise load routes =
    first (ties keep list order), each along the load-aware Dijkstra
    path. This is the engine behind [route] and the public [analyse]. *)
 let route_demands host pairs =
+  Obs.span ~arg:(List.length pairs) "congestion.analyse" @@ fun () ->
   let row = row_table host in
   let load = Array.make (Graph.m host) 0 in
   let scratch = make_scratch () in
@@ -117,6 +132,7 @@ let route_demands host pairs =
     |> List.filter_map (fun (a, b) -> if a = b then None else Some ((row a).(b), a, b))
     |> List.sort (fun (d1, _, _) (d2, _, _) -> compare d2 d1)
   in
+  Obs.add c_demands (List.length demands);
   let lengths =
     List.map
       (fun (_, a, b) ->
@@ -133,6 +149,7 @@ let route_demands host pairs =
             charge path)
       demands
   in
+  if Obs.metrics_enabled () then Array.iter (Obs.observe h_edge_load) load;
   summarise load lengths
 
 let analyse host pairs = route_demands host pairs

@@ -1,20 +1,35 @@
+open Xt_obs
 open Xt_topology
 
-type message = { dst : int; tag : int }
+let c_sent = Obs.counter "netsim.sent"
+let c_delivered = Obs.counter "netsim.delivered"
+let c_hops = Obs.counter "netsim.hops"
+let h_latency = Obs.histogram "netsim.latency_cycles"
+
+type message = { dst : int; tag : int; sent : int (* injection cycle *) }
+
+(* Directed-link index: the undirected edge id from [Graph.edge_index]
+   doubled, plus the direction bit (0 = towards the higher-numbered
+   endpoint). Dense, so per-send queue lookup is a binary search in the
+   sender's adjacency instead of a hash, and per-link series (loads,
+   utilisation) are plain array sweeps. *)
+let link_index g ~at ~hop = (2 * Graph.edge_index g at hop) + if at < hop then 0 else 1
 
 type t = {
   graph : Graph.t;
   router : Router.t;
   link_capacity : int;
   service_rate : int;
-  (* FIFO queue per directed link, keyed (from, to) *)
-  queues : (int * int, message Queue.t) Hashtbl.t;
-  (* arrived messages awaiting CPU service, per vertex *)
-  inbox : message Queue.t array;
+  queues : message Queue.t array; (* FIFO per directed link *)
+  link_dst : int array;           (* directed link -> its receiving endpoint *)
+  link_load : int array;          (* messages that traversed each directed link *)
+  inbox : message Queue.t array;  (* arrived messages awaiting CPU service *)
   mutable cycle : int;
   mutable in_flight : int;
   mutable delivered : int;
   mutable high_water : int;
+  mutable latencies : int array;  (* first [nlat] entries, delivery order *)
+  mutable nlat : int;
 }
 
 type handler = tag:int -> t -> unit
@@ -22,32 +37,34 @@ type handler = tag:int -> t -> unit
 let create ?(link_capacity = 1) ?(service_rate = max_int) graph =
   if link_capacity <= 0 then invalid_arg "Sim.create: link capacity";
   if service_rate <= 0 then invalid_arg "Sim.create: service rate";
+  let m = Graph.m graph in
+  let link_dst = Array.make (2 * m) (-1) in
+  Graph.iter_edges graph (fun u v ->
+      let eid = Graph.edge_index graph u v in
+      link_dst.(2 * eid) <- max u v;
+      link_dst.((2 * eid) + 1) <- min u v);
   {
     graph;
     router = Router.create graph;
     link_capacity;
     service_rate;
-    queues = Hashtbl.create 256;
+    queues = Array.init (2 * m) (fun _ -> Queue.create ());
+    link_dst;
+    link_load = Array.make (2 * m) 0;
     inbox = Array.init (Graph.n graph) (fun _ -> Queue.create ());
     cycle = 0;
     in_flight = 0;
     delivered = 0;
     high_water = 0;
+    latencies = [||];
+    nlat = 0;
   }
-
-let queue_of t key =
-  match Hashtbl.find_opt t.queues key with
-  | Some q -> q
-  | None ->
-      let q = Queue.create () in
-      Hashtbl.replace t.queues key q;
-      q
 
 let enqueue t ~at msg =
   if at = msg.dst then Queue.add msg t.inbox.(at)
   else begin
     let hop = Router.next_hop t.router ~current:at ~dst:msg.dst in
-    let q = queue_of t (at, hop) in
+    let q = t.queues.(link_index t.graph ~at ~hop) in
     Queue.add msg q;
     if Queue.length q > t.high_water then t.high_water <- Queue.length q
   end
@@ -56,25 +73,41 @@ let send t ~src ~dst ~tag =
   if src < 0 || src >= Graph.n t.graph || dst < 0 || dst >= Graph.n t.graph then
     invalid_arg "Sim.send: vertex out of range";
   t.in_flight <- t.in_flight + 1;
-  enqueue t ~at:src { dst; tag }
+  Obs.incr c_sent;
+  enqueue t ~at:src { dst; tag; sent = t.cycle }
+
+let record_latency t v =
+  let cap = Array.length t.latencies in
+  if t.nlat = cap then begin
+    let a = Array.make (max 64 (2 * cap)) 0 in
+    Array.blit t.latencies 0 a 0 cap;
+    t.latencies <- a
+  end;
+  t.latencies.(t.nlat) <- v;
+  t.nlat <- t.nlat + 1;
+  Obs.observe h_latency v
 
 let run t ~on_deliver =
   let start = t.cycle in
   while t.in_flight > 0 do
     t.cycle <- t.cycle + 1;
-    (* 1. links: advance one batch per directed link; arrivals join the
-       destination's inbox and may still be served this cycle *)
-    let moved = ref [] in
-    Hashtbl.iter
-      (fun (_, hop) q ->
+    (* 1. links: advance one batch per directed link (in link-index
+       order, so runs are deterministic); arrivals join the destination's
+       inbox and may still be served this cycle *)
+    let moved = ref [] and nmoved = ref 0 in
+    Array.iteri
+      (fun idx q ->
         for _ = 1 to min t.link_capacity (Queue.length q) do
-          moved := (hop, Queue.pop q) :: !moved
+          t.link_load.(idx) <- t.link_load.(idx) + 1;
+          incr nmoved;
+          moved := (t.link_dst.(idx), Queue.pop q) :: !moved
         done)
       t.queues;
+    Obs.add c_hops !nmoved;
     List.iter
       (fun (at, msg) ->
         if msg.dst = at then Queue.add msg t.inbox.(at) else enqueue t ~at msg)
-      !moved;
+      (List.rev !moved);
     (* 2. CPU service: each vertex completes up to service_rate messages;
        completions may inject new traffic (carried next cycle) *)
     let served = ref [] in
@@ -88,10 +121,30 @@ let run t ~on_deliver =
       (fun msg ->
         t.in_flight <- t.in_flight - 1;
         t.delivered <- t.delivered + 1;
+        Obs.incr c_delivered;
+        record_latency t (t.cycle - msg.sent);
         on_deliver ~tag:msg.tag t)
-      !served
+      !served;
+    (* 3. per-cycle series for the trace viewer *)
+    if Obs.tracing_enabled () then begin
+      let links = Array.length t.queues in
+      let maxq = ref 0 and queued = ref 0 in
+      Array.iter
+        (fun q ->
+          let l = Queue.length q in
+          if l > !maxq then maxq := l;
+          queued := !queued + l)
+        t.queues;
+      Obs.counter_event "netsim.in_flight" t.in_flight;
+      Obs.counter_event "netsim.queued" !queued;
+      Obs.counter_event "netsim.queue_depth_max" !maxq;
+      Obs.counter_event "netsim.link_util_pct"
+        (if links = 0 then 0 else 100 * !nmoved / (links * t.link_capacity))
+    end
   done;
   t.cycle - start
 
 let delivered t = t.delivered
 let max_link_queue t = t.high_water
+let link_loads t = Array.copy t.link_load
+let latencies t = Array.sub t.latencies 0 t.nlat

@@ -6,7 +6,17 @@
     [t+1] without using any link. Delivery callbacks may inject further
     messages, so dependency chains (reductions, broadcasts) unfold
     naturally. [run] executes until the network is quiescent and returns
-    the cycle count — the quantity the paper's dilation is a proxy for. *)
+    the cycle count — the quantity the paper's dilation is a proxy for.
+
+    Link queues are kept in dense arrays indexed by directed link id
+    ([2 * edge_id + direction], from {!Xt_topology.Graph.edge_index}),
+    so a send performs no hashing and per-link measurements are plain
+    array sweeps. The simulator records through [Xt_obs.Obs]: the
+    [netsim.sent] / [netsim.delivered] / [netsim.hops] counters and the
+    [netsim.latency_cycles] histogram when metrics are enabled, and
+    per-cycle [netsim.in_flight] / [netsim.queued] /
+    [netsim.queue_depth_max] / [netsim.link_util_pct] counter tracks
+    when tracing is enabled. *)
 
 type t
 
@@ -33,3 +43,13 @@ val delivered : t -> int
 
 val max_link_queue : t -> int
 (** High-water mark of any link queue — a congestion indicator. *)
+
+val link_loads : t -> int array
+(** Total messages that traversed each directed link, indexed by
+    [2 * edge_id + direction] (direction 0 points at the
+    higher-numbered endpoint). Sums to the total hop count. *)
+
+val latencies : t -> int array
+(** Per-message end-to-end latency in cycles (injection to service
+    completion), in delivery order — feed to [Stats.of_ints] /
+    [Stats.quantiles_of_ints] for p50/p90/p99. *)

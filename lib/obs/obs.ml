@@ -1,0 +1,383 @@
+(* Domain-sharded metrics + span tracing. See obs.mli for the contract.
+
+   Layout notes. Every instrument keeps [nshards] cells; a recording
+   domain writes cell [Domain.self () land (nshards - 1)], so distinct
+   pool domains write distinct cells. Counter and gauge cells live in
+   one int array padded to a cache line (8 words) per shard, so two
+   domains bumping the same counter never share a line. Writes are
+   plain (not atomic): each cell has a single writer, and every reader
+   (drain, export) runs after the parallel region has joined, which the
+   pool's mutex hand-off orders for us. *)
+
+let nshards = 64
+let shard_mask = nshards - 1
+let pad = 8 (* ints per shard slot: one 64-byte line *)
+
+let shard_index () = (Domain.self () :> int) land shard_mask
+
+(* ------------------------------------------------------------------ *)
+(* Flags and clock                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_on = ref false
+let tracing_on = ref false
+
+let metrics_enabled () = !metrics_on
+let tracing_enabled () = !tracing_on
+let enable_metrics () = metrics_on := true
+let disable_metrics () = metrics_on := false
+
+let default_clock () = int_of_float (Unix.gettimeofday () *. 1e9)
+let clock = ref default_clock
+let set_clock f = clock := f
+let now_ns () = !clock ()
+
+(* Trace timestamps are exported relative to this origin. *)
+let trace_origin = ref 0
+
+let disable_tracing () = tracing_on := false
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { c_name : string; cells : int array }
+type gauge = { g_name : string; g_cells : int array (* min_int = unset *) }
+
+type hshard = {
+  hcounts : int array; (* bounds + overflow *)
+  mutable hsum : int;
+  mutable hcount : int;
+  mutable hmin : int;
+  mutable hmax : int;
+}
+
+type histogram = { name : string; bounds : int array; shards : hshard array }
+
+let registry_mutex = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let registered tbl name make =
+  Mutex.lock registry_mutex;
+  let v =
+    match Hashtbl.find_opt tbl name with
+    | Some v -> v
+    | None ->
+        let v = make () in
+        Hashtbl.replace tbl name v;
+        v
+  in
+  Mutex.unlock registry_mutex;
+  v
+
+let counter name =
+  registered counters name (fun () -> { c_name = name; cells = Array.make (nshards * pad) 0 })
+
+let add c n =
+  if !metrics_on then begin
+    let i = shard_index () * pad in
+    c.cells.(i) <- c.cells.(i) + n
+  end
+
+let incr c = add c 1
+
+let gauge name =
+  registered gauges name (fun () ->
+      { g_name = name; g_cells = Array.make (nshards * pad) min_int })
+
+let set_gauge g v = if !metrics_on then g.g_cells.(shard_index () * pad) <- v
+
+(* 1, 2, 4, ..., 2^29: thirty buckets covering ns latencies up to ~0.5 s
+   and size distributions up to ~5e8. *)
+let default_buckets = Array.init 30 (fun i -> 1 lsl i)
+
+let histogram ?(buckets = default_buckets) name =
+  registered histograms name (fun () ->
+      if Array.length buckets = 0 then invalid_arg "Obs.histogram: empty buckets";
+      Array.iteri
+        (fun i b -> if i > 0 && buckets.(i - 1) >= b then invalid_arg "Obs.histogram: buckets not sorted")
+        buckets;
+      {
+        name;
+        bounds = Array.copy buckets;
+        shards =
+          Array.init nshards (fun _ ->
+              {
+                hcounts = Array.make (Array.length buckets + 1) 0;
+                hsum = 0;
+                hcount = 0;
+                hmin = max_int;
+                hmax = min_int;
+              });
+      })
+
+(* First bucket whose inclusive upper bound is >= v, else the overflow
+   slot. Binary search: bounds are small arrays but latency ladders have
+   ~30 entries. *)
+let bucket_of bounds v =
+  let nb = Array.length bounds in
+  if v > bounds.(nb - 1) then nb
+  else begin
+    let lo = ref 0 and hi = ref (nb - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if bounds.(mid) >= v then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let observe h v =
+  if !metrics_on then begin
+    let s = h.shards.(shard_index ()) in
+    let b = bucket_of h.bounds v in
+    s.hcounts.(b) <- s.hcounts.(b) + 1;
+    s.hsum <- s.hsum + v;
+    s.hcount <- s.hcount + 1;
+    if v < s.hmin then s.hmin <- v;
+    if v > s.hmax then s.hmax <- v
+  end
+
+let time_ns h f =
+  if not !metrics_on then f ()
+  else begin
+    let t0 = now_ns () in
+    let r = f () in
+    observe h (now_ns () - t0);
+    r
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Drain                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type histogram_row = {
+  h_name : string;
+  bounds : int array;
+  counts : int array;
+  count : int;
+  sum : int;
+  vmin : int;
+  vmax : int;
+}
+
+type dump = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : histogram_row list;
+}
+
+let sorted_values tbl = Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+
+let by_name name_of l = List.sort (fun a b -> compare (name_of a) (name_of b)) l
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let cs = sorted_values counters and gs = sorted_values gauges and hs = sorted_values histograms in
+  Mutex.unlock registry_mutex;
+  let counter_total (c : counter) =
+    let t = ref 0 in
+    for i = 0 to nshards - 1 do
+      t := !t + c.cells.(i * pad)
+    done;
+    (c.c_name, !t)
+  in
+  let gauge_merged (g : gauge) =
+    let t = ref min_int in
+    for i = 0 to nshards - 1 do
+      let v = g.g_cells.(i * pad) in
+      if v > !t then t := v
+    done;
+    (g.g_name, if !t = min_int then 0 else !t)
+  in
+  let hist_merged (h : histogram) =
+    let nb = Array.length h.bounds in
+    let counts = Array.make (nb + 1) 0 in
+    let sum = ref 0 and count = ref 0 and vmin = ref max_int and vmax = ref min_int in
+    Array.iter
+      (fun s ->
+        Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) s.hcounts;
+        sum := !sum + s.hsum;
+        count := !count + s.hcount;
+        if s.hmin < !vmin then vmin := s.hmin;
+        if s.hmax > !vmax then vmax := s.hmax)
+      h.shards;
+    {
+      h_name = h.name;
+      bounds = Array.copy h.bounds;
+      counts;
+      count = !count;
+      sum = !sum;
+      vmin = (if !count = 0 then 0 else !vmin);
+      vmax = (if !count = 0 then 0 else !vmax);
+    }
+  in
+  {
+    counters = by_name fst (List.map counter_total cs);
+    gauges = by_name fst (List.map gauge_merged gs);
+    histograms = by_name (fun r -> r.h_name) (List.map hist_merged hs);
+  }
+
+let reset_metrics () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter (fun _ (c : counter) -> Array.fill c.cells 0 (Array.length c.cells) 0) counters;
+  Hashtbl.iter (fun _ (g : gauge) -> Array.fill g.g_cells 0 (Array.length g.g_cells) min_int) gauges;
+  Hashtbl.iter
+    (fun _ (h : histogram) ->
+      Array.iter
+        (fun s ->
+          Array.fill s.hcounts 0 (Array.length s.hcounts) 0;
+          s.hsum <- 0;
+          s.hcount <- 0;
+          s.hmin <- max_int;
+          s.hmax <- min_int)
+        h.shards)
+    histograms;
+  Mutex.unlock registry_mutex
+
+let drain () =
+  let d = snapshot () in
+  reset_metrics ();
+  d
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let int_list b l =
+  Buffer.add_char b '[';
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int v))
+    l;
+  Buffer.add_char b ']'
+
+let dump_json d =
+  let b = Buffer.create 1024 in
+  let obj kvs emit =
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i kv ->
+        if i > 0 then Buffer.add_char b ',';
+        emit kv)
+      kvs;
+    Buffer.add_char b '}'
+  in
+  Buffer.add_string b "{\"counters\":";
+  obj d.counters (fun (k, v) -> Buffer.add_string b (Printf.sprintf "\"%s\":%d" (json_escape k) v));
+  Buffer.add_string b ",\"gauges\":";
+  obj d.gauges (fun (k, v) -> Buffer.add_string b (Printf.sprintf "\"%s\":%d" (json_escape k) v));
+  Buffer.add_string b ",\"histograms\":";
+  obj d.histograms (fun r ->
+      Buffer.add_string b (Printf.sprintf "\"%s\":{\"bounds\":" (json_escape r.h_name));
+      int_list b r.bounds;
+      Buffer.add_string b ",\"counts\":";
+      int_list b r.counts;
+      Buffer.add_string b
+        (Printf.sprintf ",\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d}" r.count r.sum r.vmin
+           r.vmax));
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+let pp_dump b d =
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s = %d\n" k v)) d.counters;
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s = %d (gauge)\n" k v)) d.gauges;
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%s: count=%d sum=%d min=%d max=%d\n" r.h_name r.count r.sum r.vmin
+           r.vmax))
+    d.histograms
+
+(* ------------------------------------------------------------------ *)
+(* Tracing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type ev = { e_name : string; ph : char; ts : int; e_arg : int (* min_int = none *) }
+
+let dummy_ev = { e_name = ""; ph = 'X'; ts = 0; e_arg = min_int }
+
+type track = { mutable evs : ev array; mutable len : int }
+
+let tracks = Array.init nshards (fun _ -> { evs = [||]; len = 0 })
+
+let push ph name arg =
+  let t = tracks.(shard_index ()) in
+  let cap = Array.length t.evs in
+  if t.len = cap then begin
+    let evs = Array.make (max 256 (2 * cap)) dummy_ev in
+    Array.blit t.evs 0 evs 0 cap;
+    t.evs <- evs
+  end;
+  t.evs.(t.len) <- { e_name = name; ph; ts = now_ns (); e_arg = arg };
+  t.len <- t.len + 1
+
+let reset_trace () = Array.iter (fun t -> t.len <- 0) tracks
+
+let enable_tracing () =
+  trace_origin := now_ns ();
+  tracing_on := true
+
+let span ?(arg = min_int) name f =
+  if not !tracing_on then f ()
+  else begin
+    push 'B' name arg;
+    Fun.protect ~finally:(fun () -> push 'E' name min_int) f
+  end
+
+let instant ?(arg = min_int) name = if !tracing_on then push 'i' name arg
+
+let counter_event name v = if !tracing_on then push 'C' name v
+
+let trace_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_string b ",\n" in
+  sep ();
+  Buffer.add_string b
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"xtree\"}}";
+  Array.iteri
+    (fun tid t ->
+      if t.len > 0 then begin
+        sep ();
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"domain-%d\"}}"
+             tid tid)
+      end)
+    tracks;
+  Array.iteri
+    (fun tid t ->
+      for i = 0 to t.len - 1 do
+        let e = t.evs.(i) in
+        let us = float_of_int (e.ts - !trace_origin) /. 1e3 in
+        sep ();
+        Buffer.add_string b
+          (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":%d"
+             (json_escape e.e_name) e.ph us tid);
+        (match e.ph with
+        | 'C' -> Buffer.add_string b (Printf.sprintf ",\"args\":{\"value\":%d}" e.e_arg)
+        | 'i' -> Buffer.add_string b ",\"s\":\"t\""
+        | _ -> ());
+        if e.ph <> 'C' && e.e_arg <> min_int then
+          Buffer.add_string b (Printf.sprintf ",\"args\":{\"v\":%d}" e.e_arg);
+        Buffer.add_char b '}'
+      done)
+    tracks;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let write_trace file =
+  let oc = open_out file in
+  output_string oc (trace_json ());
+  close_out oc

@@ -1,0 +1,152 @@
+(** Telemetry: domain-sharded metrics and Chrome-trace span tracing.
+
+    This module sits below every other library of the repo (it depends
+    only on [unix]) so that the parallel runtime, the embedding
+    pipeline, and the network simulator can all record into it.
+
+    {b Cost model.} Everything is gated on two process-wide flags.
+    With metrics and tracing disabled (the default), every recording
+    entry point reduces to one mutable-flag load and a conditional
+    branch — no allocation, no clock read, no atomic operation. The
+    instruments themselves ([counter], [histogram], …) are created once
+    at module-initialisation time and registered in a global registry.
+
+    {b Sharding.} Each instrument keeps one cell (or bucket array) per
+    {e shard}; the recording domain writes the shard indexed by its
+    [Domain.self] id, so concurrent workers of the
+    {!Xt_prelude.Parallel} pool never contend on a cache line.
+    {!drain} merges shards in increasing shard order and sorts
+    instruments by name, so its output is deterministic whenever the
+    recorded totals are (work counters of a deterministic algorithm
+    merge to identical dumps whatever the domain count).
+
+    {b Tracing.} {!span} brackets a computation with begin/end events
+    stamped by an injectable monotonic clock ({!set_clock}); the event
+    log is exported as Chrome trace-event JSON ({!trace_json}), loadable
+    in Perfetto / [chrome://tracing], with one track (tid) per domain
+    shard. *)
+
+(** {1 Flags and clock} *)
+
+val metrics_enabled : unit -> bool
+val tracing_enabled : unit -> bool
+
+val enable_metrics : unit -> unit
+val disable_metrics : unit -> unit
+
+val enable_tracing : unit -> unit
+(** Also resets the trace clock origin to "now", so exported timestamps
+    start near zero. *)
+
+val disable_tracing : unit -> unit
+
+val set_clock : (unit -> int) -> unit
+(** Inject a monotonic nanosecond clock (used by spans and timed
+    histograms). The default derives from [Unix.gettimeofday]. Tests
+    inject a fake counter to make traces fully deterministic. *)
+
+val now_ns : unit -> int
+(** The current clock reading. *)
+
+(** {1 Metrics} *)
+
+type counter
+
+val counter : string -> counter
+(** Create-or-find the counter registered under this name. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** No-ops (single flag check) while metrics are disabled. *)
+
+type gauge
+
+val gauge : string -> gauge
+
+val set_gauge : gauge -> int -> unit
+(** Record the current value of the gauge on this domain's shard.
+    {!drain} merges shards by taking the maximum recorded value. *)
+
+type histogram
+
+val histogram : ?buckets:int array -> string -> histogram
+(** Fixed-bucket histogram of integer samples. [buckets] is the sorted
+    array of inclusive upper bounds; samples above the last bound fall
+    into an implicit overflow bucket. The default is a power-of-two
+    exponential ladder [1, 2, 4, …, 2{^29}] suitable for nanosecond
+    latencies and size distributions alike. Re-registering a name
+    returns the existing histogram (the buckets of the first
+    registration win). *)
+
+val observe : histogram -> int -> unit
+
+val time_ns : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk and observe its duration in nanoseconds. When metrics
+    are disabled this is a flag check followed by a direct call. *)
+
+(** {1 Drain} *)
+
+type histogram_row = {
+  h_name : string;
+  bounds : int array;      (** inclusive upper bounds, as registered *)
+  counts : int array;      (** length [Array.length bounds + 1]; last = overflow *)
+  count : int;
+  sum : int;
+  vmin : int;              (** 0 when [count = 0] *)
+  vmax : int;
+}
+
+type dump = {
+  counters : (string * int) list;   (** sorted by name *)
+  gauges : (string * int) list;     (** sorted by name; shard-max merge *)
+  histograms : histogram_row list;  (** sorted by name *)
+}
+
+val snapshot : unit -> dump
+(** Merge all shards of all registered instruments, deterministically:
+    shards in index order, instruments sorted by name. Instruments that
+    never recorded are included with zero totals. *)
+
+val reset_metrics : unit -> unit
+(** Zero every shard of every instrument (the registry is kept). *)
+
+val drain : unit -> dump
+(** [snapshot] followed by [reset_metrics]. *)
+
+val dump_json : dump -> string
+(** The dump as a stable JSON object:
+    [{"counters":{…},"gauges":{…},"histograms":{…}}], keys in sorted
+    order, histogram rows carrying bounds/counts/count/sum/min/max. *)
+
+val pp_dump : Buffer.t -> dump -> unit
+(** Human-readable [name = value] lines (counters and gauges), then one
+    line per histogram with count/sum/min/max — the [--metrics] output
+    of the CLI. *)
+
+(** {1 Tracing} *)
+
+val span : ?arg:int -> string -> (unit -> 'a) -> 'a
+(** [span name f] records a begin event, runs [f], and records the
+    matching end event even when [f] raises. [?arg] is attached to the
+    begin event as [args.v]. When tracing is disabled, [f] is called
+    directly after the flag check. *)
+
+val instant : ?arg:int -> string -> unit
+(** A zero-duration instant event. *)
+
+val counter_event : string -> int -> unit
+(** A Chrome counter-track sample ([ph = "C"]): a named time series,
+    e.g. per-cycle queue depth in the network simulator. *)
+
+val reset_trace : unit -> unit
+(** Discard all recorded events. *)
+
+val trace_json : unit -> string
+(** The event log as a Chrome trace-event JSON document
+    [{"traceEvents":[…]}]: thread-name metadata naming one track per
+    domain shard, then every shard's events in recording order.
+    Timestamps are microseconds (fractional, ns precision) since the
+    clock origin. *)
+
+val write_trace : string -> unit
+(** Write {!trace_json} to a file. *)

@@ -7,6 +7,18 @@
    inside a batch body) run sequentially inline, which makes nesting
    deadlock-free and keeps per-item execution single-domain. *)
 
+open Xt_obs
+
+(* Telemetry. [items]/[batches]/[chunks] count scheduled work (items are
+   counted on the sequential fallback too, so their total is independent
+   of the domain budget); [queue_wait_ns] is the time a pool worker spent
+   blocked between batches. All of it is off unless Obs metrics are
+   enabled. *)
+let c_items = Obs.counter "parallel.items"
+let c_batches = Obs.counter "parallel.batches"
+let c_chunks = Obs.counter "parallel.chunks"
+let h_queue_wait = Obs.histogram "parallel.queue_wait_ns"
+
 let recommended_domains () =
   let cores = Domain.recommended_domain_count () in
   min 8 (max 1 (cores - 1))
@@ -69,6 +81,7 @@ let run_batch b =
     let c = Atomic.fetch_and_add b.next 1 in
     if c >= b.chunks then continue_ := false
     else begin
+      Obs.incr c_chunks;
       let lo = c * b.chunk in
       let hi = min b.n (lo + b.chunk) in
       let j = ref lo in
@@ -99,6 +112,7 @@ let worker_loop pool =
   let last_gen = ref 0 in
   let running = ref true in
   while !running do
+    let wait_from = if Obs.metrics_enabled () then Obs.now_ns () else 0 in
     Mutex.lock pool.m;
     while (not pool.shutdown) && (pool.gen <= !last_gen || pool.current = None) do
       Condition.wait pool.work_cv pool.m
@@ -111,7 +125,8 @@ let worker_loop pool =
       let b = Option.get pool.current in
       last_gen := pool.gen;
       Mutex.unlock pool.m;
-      run_batch b;
+      if wait_from <> 0 then Obs.observe h_queue_wait (Obs.now_ns () - wait_from);
+      Obs.span "parallel.batch" (fun () -> run_batch b);
       if Atomic.get b.completed >= b.chunks then begin
         Mutex.lock pool.m;
         Condition.broadcast pool.done_cv;
@@ -154,6 +169,7 @@ let sequential_for n body =
 
 let parallel_for ?domains ?chunk n body =
   if n < 0 then invalid_arg "Parallel.parallel_for";
+  Obs.add c_items n;
   let budget = match domains with Some d -> max 1 (min d (domain_budget ())) | None -> domain_budget () in
   if n = 0 then ()
   else if budget <= 1 || n = 1 || in_parallel_region () then sequential_for n body
@@ -179,6 +195,8 @@ let parallel_for ?domains ?chunk n body =
           failed = Atomic.make None;
         }
       in
+      Obs.incr c_batches;
+      Obs.span ~arg:n "parallel.for" @@ fun () ->
       Mutex.lock pool.m;
       pool.current <- Some b;
       pool.gen <- pool.gen + 1;
@@ -187,7 +205,7 @@ let parallel_for ?domains ?chunk n body =
       Domain.DLS.set busy_key true;
       Fun.protect
         ~finally:(fun () -> Domain.DLS.set busy_key false)
-        (fun () -> run_batch b);
+        (fun () -> Obs.span "parallel.batch" (fun () -> run_batch b));
       Mutex.lock pool.m;
       while Atomic.get b.completed < b.chunks do
         Condition.wait pool.done_cv pool.m

@@ -13,7 +13,15 @@
 
     The domain budget resolves, in order: {!set_domain_budget} override,
     the [XT_DOMAINS] environment variable, {!recommended_domains}.
-    [XT_DOMAINS=1] forces every primitive down its sequential path. *)
+    [XT_DOMAINS=1] forces every primitive down its sequential path.
+
+    When [Xt_obs.Obs] metrics are enabled the runtime records the
+    [parallel.items] / [parallel.batches] / [parallel.chunks] counters
+    and the [parallel.queue_wait_ns] worker-wait histogram; with tracing
+    enabled each pool dispatch emits a [parallel.for] span on the caller
+    track and one [parallel.batch] span per participating domain.
+    [parallel.items] is counted on the sequential fallback too, so its
+    total does not depend on the domain budget. *)
 
 val recommended_domains : unit -> int
 (** [max 1 (cores - 1)], capped at 8. *)

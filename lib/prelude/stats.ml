@@ -42,12 +42,30 @@ let histogram ~width xs =
   Hashtbl.fold (fun b c acc -> (b, c) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let percentile p xs =
-  let n = Array.length xs in
+(* Nearest-rank index for percentile [p] over [n] sorted samples. *)
+let rank_index p n =
   if n = 0 then invalid_arg "Stats.percentile";
   if p < 0. || p > 100. then invalid_arg "Stats.percentile";
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  if rank <= 0 then 0 else if rank > n then n - 1 else rank - 1
+
+let percentile p xs =
   let sorted = Array.copy xs in
   Array.sort compare sorted;
-  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
-  let idx = if rank <= 0 then 0 else if rank > n then n - 1 else rank - 1 in
-  sorted.(idx)
+  sorted.(rank_index p (Array.length sorted))
+
+let percentile_ints p xs =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  sorted.(rank_index p (Array.length sorted))
+
+type quantiles = { p50 : float; p90 : float; p99 : float }
+
+let quantiles_of_floats xs =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let q p = sorted.(rank_index p n) in
+  { p50 = q 50.; p90 = q 90.; p99 = q 99. }
+
+let quantiles_of_ints xs = quantiles_of_floats (Array.map float_of_int xs)

@@ -20,8 +20,23 @@ val max_int_array : int array -> int
 val histogram : width:int -> int array -> (int * int) list
 (** [histogram ~width xs] buckets values into intervals of size [width] and
     returns [(bucket_start, count)] pairs in increasing order, skipping
-    empty buckets. *)
+    empty buckets. Negative values bucket by floor division: with
+    [width = 10], [-1] lands in bucket [-10] and [-10] in bucket [-10]
+    (every bucket covers [\[start, start + width)]). *)
 
 val percentile : float -> float array -> float
 (** [percentile p xs] with [p] in [\[0,100\]], nearest-rank on a sorted copy.
-    Raises [Invalid_argument] on an empty sample. *)
+    Exact: the result is always one of the samples. Raises
+    [Invalid_argument] on an empty sample. *)
+
+val percentile_ints : float -> int array -> int
+(** Nearest-rank percentile of an integer sample, without a float
+    round-trip. Same contract as {!percentile}. *)
+
+type quantiles = { p50 : float; p90 : float; p99 : float }
+(** The latency-reporting quantiles, exact nearest-rank (each is one of
+    the samples) — one sort per call, shared by all three. *)
+
+val quantiles_of_floats : float array -> quantiles
+val quantiles_of_ints : int array -> quantiles
+(** Raise [Invalid_argument] on an empty sample, like {!percentile}. *)

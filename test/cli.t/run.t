@@ -36,6 +36,51 @@ sequential run. XT_DOMAINS=1 forces the sequential path; same output:
   host: X(5) with 63 vertices; fallbacks=0
   condition (3'): 1004/1007 edges ok; max level gap 2
 
+Telemetry: --metrics prints the merged work counters after the run.
+The algorithmic counters (adjust.*, split.*, theorem1.*) count the
+deterministic pipeline, so they are identical whatever --jobs says:
+
+  $ xtree embed -f uniform -n 240 -s 7 --metrics | grep -E '^(adjust|split|theorem1)\.'
+  adjust.active_calls = 2
+  adjust.lemma_splits = 2
+  adjust.nodes_moved = 5
+  adjust.whole_moves = 0
+  split.balance_splits = 4
+  split.calls = 7
+  split.fill_laid = 191
+  split.pieces = 31
+  theorem1.rounds = 3
+
+  $ xtree embed -f uniform -n 240 -s 7 --jobs 4 --metrics | grep -E '^(adjust|split|theorem1)\.'
+  adjust.active_calls = 2
+  adjust.lemma_splits = 2
+  adjust.nodes_moved = 5
+  adjust.whole_moves = 0
+  split.balance_splits = 4
+  split.calls = 7
+  split.fill_laid = 191
+  split.pieces = 31
+  theorem1.rounds = 3
+
+--trace writes a Chrome trace-event JSON file (load it in Perfetto or
+chrome://tracing), with every span's begin matched by an end:
+
+  $ XT_DOMAINS=1 xtree embed -f uniform -n 240 -s 7 --trace trace.json | tail -n 1
+  trace written to trace.json
+  $ head -c 16 trace.json
+  {"traceEvents":[
+  $ test $(grep -c '"ph":"B"' trace.json) -eq $(grep -c '"ph":"E"' trace.json) && echo balanced
+  balanced
+  $ grep -c '"name":"theorem1.round","ph":"B"' trace.json
+  3
+
+The network simulator reports end-to-end latency quantiles and per-link
+load from its dense link-indexed queues:
+
+  $ xtree simulate -f uniform -n 240 -s 7
+  reduction on uniform (n=240): native=36 cycles, on X(3)=39 cycles, slowdown 1.08x
+  latency cycles: p50=1 p90=1 p99=2 max=2; busiest link carried 4, max queue 2
+
 An embedding read back from a file, with the repair pass:
 
   $ xtree embed -i tree.txt --repair

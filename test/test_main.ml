@@ -19,4 +19,5 @@ let () =
       ("internals", Test_internals.suite);
       ("baseline", Test_baseline.suite);
       ("netsim", Test_netsim.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -114,6 +114,27 @@ let test_path_tree_reduction () =
   let t = Gen.path 20 in
   check "wave length" 19 (Workload.run_native Workload.reduction t)
 
+let test_link_loads_and_latencies () =
+  (* one message 0 -> 4 over a path: each forward directed link carries
+     it once, the reverse direction stays idle *)
+  let sim = Sim.create (path_host 5) in
+  Sim.send sim ~src:0 ~dst:4 ~tag:0;
+  ignore (Sim.run sim ~on_deliver:(fun ~tag:_ _ -> ()));
+  let loads = Sim.link_loads sim in
+  check "2m directed links" 8 (Array.length loads);
+  check "total hops" 4 (Array.fold_left ( + ) 0 loads);
+  checkb "each link at most once" true (Array.for_all (fun l -> l <= 1) loads);
+  Alcotest.(check (array int)) "latency per message" [| 4 |] (Sim.latencies sim);
+  (* contention shows up in the tail: two messages over one link *)
+  let sim2 = Sim.create (path_host 3) in
+  Sim.send sim2 ~src:0 ~dst:2 ~tag:0;
+  Sim.send sim2 ~src:0 ~dst:2 ~tag:1;
+  ignore (Sim.run sim2 ~on_deliver:(fun ~tag:_ _ -> ()));
+  let lat = Sim.latencies sim2 in
+  Array.sort compare lat;
+  Alcotest.(check (array int)) "second message waited" [| 2; 3 |] lat;
+  check "busiest link carried both" 2 (Xt_prelude.Stats.max_int_array (Sim.link_loads sim2))
+
 let suite =
   [
     ("router next hop", `Quick, test_router_next_hop);
@@ -130,6 +151,7 @@ let suite =
     ("single node workloads", `Quick, test_single_node_workloads);
     ("embedded slowdown sane", `Quick, test_embedded_slowdown_small);
     ("path tree reduction", `Quick, test_path_tree_reduction);
+    ("link loads and latencies", `Quick, test_link_loads_and_latencies);
   ]
 
 let test_permutation_workload () =

@@ -1,0 +1,306 @@
+(* Telemetry subsystem: disabled-mode cost, deterministic drains, and
+   Chrome-trace export shape. *)
+open Xt_obs
+open Xt_prelude
+open Xt_bintree
+open Xt_core
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let quiesce () =
+  Obs.disable_metrics ();
+  Obs.disable_tracing ();
+  Obs.reset_metrics ();
+  Obs.reset_trace ()
+
+(* ---------------- minimal JSON reader ----------------
+
+   The container has no JSON library, so the trace-validity test parses
+   the export with a small recursive-descent reader covering exactly the
+   grammar [Obs.trace_json] can emit (and standard JSON escapes). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of int
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let adv () = incr pos in
+  let rec skip () =
+    match peek () with ' ' | '\t' | '\n' | '\r' -> adv (); skip () | _ -> ()
+  in
+  let expect c = if peek () <> c then raise (Bad_json !pos) else adv () in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> adv (); Buffer.contents b
+      | '\255' -> raise (Bad_json !pos)
+      | '\\' -> (
+          adv ();
+          let c = peek () in
+          adv ();
+          match c with
+          | 'n' -> Buffer.add_char b '\n'; go ()
+          | 't' -> Buffer.add_char b '\t'; go ()
+          | 'r' -> Buffer.add_char b '\r'; go ()
+          | 'b' -> Buffer.add_char b '\b'; go ()
+          | 'f' -> Buffer.add_char b '\012'; go ()
+          | 'u' ->
+              for _ = 1 to 4 do
+                (match peek () with
+                | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+                | _ -> raise (Bad_json !pos));
+                adv ()
+              done;
+              Buffer.add_char b '?';
+              go ()
+          | '"' | '\\' | '/' -> Buffer.add_char b c; go ()
+          | _ -> raise (Bad_json !pos))
+      | c -> Buffer.add_char b c; adv (); go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> adv (); go ()
+      | _ -> ()
+    in
+    go ();
+    if !pos = start then raise (Bad_json !pos);
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> raise (Bad_json start)
+  in
+  let literal w v =
+    String.iter (fun c -> expect c) w;
+    v
+  in
+  let rec parse_value () =
+    skip ();
+    match peek () with
+    | '{' ->
+        adv ();
+        skip ();
+        if peek () = '}' then (adv (); Obj [])
+        else
+          let rec members acc =
+            skip ();
+            let k = parse_string () in
+            skip ();
+            expect ':';
+            let v = parse_value () in
+            skip ();
+            match peek () with
+            | ',' -> adv (); members ((k, v) :: acc)
+            | '}' -> adv (); Obj (List.rev ((k, v) :: acc))
+            | _ -> raise (Bad_json !pos)
+          in
+          members []
+    | '[' ->
+        adv ();
+        skip ();
+        if peek () = ']' then (adv (); Arr [])
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip ();
+            match peek () with
+            | ',' -> adv (); elems (v :: acc)
+            | ']' -> adv (); Arr (List.rev (v :: acc))
+            | _ -> raise (Bad_json !pos)
+          in
+          elems []
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip ();
+  if !pos <> n then raise (Bad_json !pos);
+  v
+
+let field name = function
+  | Obj kvs -> List.assoc name kvs
+  | _ -> invalid_arg "field: not an object"
+
+let str_field name o = match field name o with Str s -> s | _ -> invalid_arg name
+let num_field name o = match field name o with Num f -> f | _ -> invalid_arg name
+
+let trace_events doc =
+  match field "traceEvents" doc with
+  | Arr evs -> evs
+  | _ -> invalid_arg "traceEvents"
+
+(* ---------------- disabled mode ---------------- *)
+
+let test_disabled_records_nothing () =
+  let c = Obs.counter "test.off_counter" in
+  let g = Obs.gauge "test.off_gauge" in
+  let h = Obs.histogram "test.off_hist" in
+  quiesce ();
+  Obs.incr c;
+  Obs.add c 41;
+  Obs.set_gauge g 7;
+  Obs.observe h 3;
+  ignore (Obs.time_ns h (fun () -> 5));
+  ignore (Obs.span "test.off_span" (fun () -> 1));
+  Obs.instant "test.off_instant";
+  Obs.counter_event "test.off_series" 9;
+  let d = Obs.snapshot () in
+  check "counter untouched" 0 (List.assoc "test.off_counter" d.Obs.counters);
+  check "gauge untouched" 0 (List.assoc "test.off_gauge" d.Obs.gauges);
+  let row = List.find (fun r -> r.Obs.h_name = "test.off_hist") d.Obs.histograms in
+  check "hist untouched" 0 row.Obs.count;
+  let evs = trace_events (parse_json (Obs.trace_json ())) in
+  checkb "no span events recorded" true
+    (List.for_all (fun e -> str_field "ph" e = "M") evs)
+
+let test_disabled_allocates_nothing () =
+  let c = Obs.counter "test.off_alloc_counter" in
+  let h = Obs.histogram "test.off_alloc_hist" in
+  quiesce ();
+  let before = Gc.minor_words () in
+  for i = 1 to 50_000 do
+    Obs.incr c;
+    Obs.add c i;
+    Obs.observe h i
+  done;
+  let allocated = Gc.minor_words () -. before in
+  (* 150k disabled recordings: a handful of boxed words of slack covers
+     the Gc.minor_words calls themselves. *)
+  checkb (Printf.sprintf "allocated %.0f words" allocated) true (allocated < 256.)
+
+(* ---------------- enabled metrics ---------------- *)
+
+let test_enabled_merge_and_drain () =
+  quiesce ();
+  Obs.enable_metrics ();
+  let c = Obs.counter "test.on_counter" in
+  Obs.incr c;
+  Obs.add c 41;
+  let g = Obs.gauge "test.on_gauge" in
+  (* within one shard a gauge is last-write-wins; the max-merge applies
+     across shards *)
+  Obs.set_gauge g 3;
+  Obs.set_gauge g 9;
+  let h = Obs.histogram ~buckets:[| 1; 10; 100 |] "test.on_hist" in
+  List.iter (Obs.observe h) [ 0; 5; 50; 5000 ];
+  let d = Obs.drain () in
+  Obs.disable_metrics ();
+  check "counter total" 42 (List.assoc "test.on_counter" d.Obs.counters);
+  check "gauge max-merge" 9 (List.assoc "test.on_gauge" d.Obs.gauges);
+  let row = List.find (fun r -> r.Obs.h_name = "test.on_hist") d.Obs.histograms in
+  Alcotest.(check (array int)) "bucketed" [| 1; 1; 1; 1 |] row.Obs.counts;
+  check "count" 4 row.Obs.count;
+  check "sum" 5055 row.Obs.sum;
+  check "min" 0 row.Obs.vmin;
+  check "max" 5000 row.Obs.vmax;
+  checkb "names sorted" true
+    (let names = List.map fst d.Obs.counters in
+     names = List.sort compare names);
+  (* drain reset everything *)
+  let d2 = Obs.snapshot () in
+  check "drained counter" 0 (List.assoc "test.on_counter" d2.Obs.counters);
+  let row2 = List.find (fun r -> r.Obs.h_name = "test.on_hist") d2.Obs.histograms in
+  check "drained hist" 0 row2.Obs.count
+
+(* The work counters of the deterministic pipeline must not depend on
+   how many domains executed it. *)
+let embed_work_counters jobs =
+  Parallel.set_domain_budget jobs;
+  quiesce ();
+  Obs.enable_metrics ();
+  let rng = Rng.make ~seed:42 in
+  let t = (Gen.family "uniform").generate rng 1008 in
+  ignore (Theorem1.embed t);
+  let d = Obs.drain () in
+  Obs.disable_metrics ();
+  let deterministic name =
+    List.exists
+      (fun p -> String.length name >= String.length p && String.sub name 0 (String.length p) = p)
+      [ "adjust."; "split."; "theorem1."; "repair." ]
+  in
+  List.filter (fun (name, _) -> deterministic name) d.Obs.counters
+
+let test_counters_domain_count_independent () =
+  let seq = embed_work_counters 1 in
+  let par = embed_work_counters 4 in
+  Alcotest.(check (list (pair string int))) "jobs 1 = jobs 4" seq par;
+  checkb "counted real work" true (List.exists (fun (_, v) -> v > 0) seq);
+  checkb "rounds counted" true (List.assoc "theorem1.rounds" seq > 0)
+
+(* ---------------- tracing ---------------- *)
+
+let test_trace_shape_fake_clock () =
+  let tick = ref 0 in
+  Obs.set_clock (fun () ->
+      incr tick;
+      !tick * 1000);
+  quiesce ();
+  Obs.enable_tracing ();
+  Obs.span "outer" (fun () ->
+      Obs.span ~arg:1 "inner" (fun () -> Obs.instant "tick");
+      try Obs.span "raiser" (fun () -> raise Exit) with Exit -> ());
+  Obs.counter_event "depth" 5;
+  let doc = parse_json (Obs.trace_json ()) in
+  Obs.disable_tracing ();
+  let evs = trace_events doc in
+  let phases p = List.filter (fun e -> str_field "ph" e = p) evs in
+  check "three begins" 3 (List.length (phases "B"));
+  (* the raising span still closed *)
+  check "three ends" 3 (List.length (phases "E"));
+  check "one instant" 1 (List.length (phases "i"));
+  check "one counter sample" 1 (List.length (phases "C"));
+  (* begin/end balanced per track *)
+  let tids = List.sort_uniq compare (List.map (fun e -> num_field "tid" e) evs) in
+  List.iter
+    (fun tid ->
+      let on p e = str_field "ph" e = p && num_field "tid" e = tid in
+      check
+        (Printf.sprintf "balanced tid %.0f" tid)
+        (List.length (List.filter (on "B") evs))
+        (List.length (List.filter (on "E") evs)))
+    tids;
+  (* fake clock: timestamps are non-negative and non-decreasing in
+     recording order *)
+  let ts = List.map (fun e -> num_field "ts" e) (phases "B" @ phases "E") in
+  checkb "non-negative ts" true (List.for_all (fun t -> t >= 0.) ts);
+  let names = List.map (fun e -> str_field "name" e) (phases "B") in
+  Alcotest.(check (list string)) "span names" [ "outer"; "inner"; "raiser" ] names;
+  (match List.hd (phases "C") with
+  | e ->
+      Alcotest.(check string) "series name" "depth" (str_field "name" e);
+      check "series value" 5 (int_of_float (num_field "value" (field "args" e))));
+  (* reset drops everything but metadata stays consistent *)
+  Obs.reset_trace ();
+  let evs2 = trace_events (parse_json (Obs.trace_json ())) in
+  checkb "reset cleared events" true (List.for_all (fun e -> str_field "ph" e = "M") evs2)
+
+let test_trace_disabled_passthrough () =
+  quiesce ();
+  check "span returns" 17 (Obs.span "unrecorded" (fun () -> 17))
+
+let suite =
+  [
+    ("disabled records nothing", `Quick, test_disabled_records_nothing);
+    ("disabled allocates nothing", `Quick, test_disabled_allocates_nothing);
+    ("merge and drain", `Quick, test_enabled_merge_and_drain);
+    ("counters independent of jobs", `Quick, test_counters_domain_count_independent);
+    ("trace shape under fake clock", `Quick, test_trace_shape_fake_clock);
+    ("trace disabled passthrough", `Quick, test_trace_disabled_passthrough);
+  ]

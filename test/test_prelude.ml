@@ -90,10 +90,41 @@ let test_histogram () =
   let h = Stats.histogram ~width:10 [| 1; 5; 11; 12; 25 |] in
   Alcotest.(check (list (pair int int))) "buckets" [ (0, 2); (10, 2); (20, 1) ] h
 
+let test_histogram_negative () =
+  (* Buckets cover [start, start+width): -1 belongs to bucket -10, -10
+     to bucket -10, -11 to bucket -20, and 0 to bucket 0. *)
+  let h = Stats.histogram ~width:10 [| -1; -10; -11; -20; 0; 9 |] in
+  Alcotest.(check (list (pair int int))) "negative buckets" [ (-20, 2); (-10, 2); (0, 2) ] h;
+  let h1 = Stats.histogram ~width:1 [| -3; -1; -1; 2 |] in
+  Alcotest.(check (list (pair int int))) "width 1" [ (-3, 1); (-1, 2); (2, 1) ] h1
+
 let test_percentile () =
   let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
   Alcotest.(check (float 1e-9)) "median" 50.0 (Stats.percentile 50. xs);
   Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile 100. xs)
+
+let test_percentile_exact () =
+  (* Nearest-rank: the result is always one of the samples, never an
+     interpolation. *)
+  let xs = [| 10.; 20.; 30.; 40. |] in
+  Alcotest.(check (float 1e-9)) "p50 of 4" 20.0 (Stats.percentile 50. xs);
+  Alcotest.(check (float 1e-9)) "p51 of 4" 30.0 (Stats.percentile 51. xs);
+  Alcotest.(check (float 1e-9)) "p0" 10.0 (Stats.percentile 0. xs);
+  check "int p99 of 1..100" 99 (Stats.percentile_ints 99. (Array.init 100 (fun i -> i + 1)));
+  check "int singleton" 7 (Stats.percentile_ints 90. [| 7 |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile") (fun () ->
+      ignore (Stats.percentile 50. [||]));
+  Alcotest.check_raises "p>100" (Invalid_argument "Stats.percentile") (fun () ->
+      ignore (Stats.percentile 101. [| 1. |]))
+
+let test_quantiles () =
+  let xs = Array.init 1000 (fun i -> 999 - i) (* unsorted on purpose *) in
+  let q = Stats.quantiles_of_ints xs in
+  Alcotest.(check (float 1e-9)) "p50" 499.0 q.Stats.p50;
+  Alcotest.(check (float 1e-9)) "p90" 899.0 q.Stats.p90;
+  Alcotest.(check (float 1e-9)) "p99" 989.0 q.Stats.p99;
+  let one = Stats.quantiles_of_floats [| 42. |] in
+  Alcotest.(check (float 1e-9)) "singleton p99" 42.0 one.Stats.p99
 
 let contains_sub s sub =
   let n = String.length s and m = String.length sub in
@@ -130,7 +161,10 @@ let suite =
     ("stats summary", `Quick, test_stats_summary);
     ("stats empty", `Quick, test_stats_empty);
     ("histogram", `Quick, test_histogram);
+    ("histogram negative", `Quick, test_histogram_negative);
     ("percentile", `Quick, test_percentile);
+    ("percentile exact", `Quick, test_percentile_exact);
+    ("quantiles", `Quick, test_quantiles);
     ("tab renders", `Quick, test_tab_renders);
     ("tab row too long", `Quick, test_tab_row_too_long);
   ]
