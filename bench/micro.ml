@@ -30,6 +30,18 @@ let congestion_workload =
      done;
      (g, !pairs))
 
+let leaf_sweep_xt = lazy (Xt_topology.Xtree.create ~height:10)
+
+(* B10 measures a pure cache hit: the fingerprint, the canonical-string
+   verify, the rank remap and Embedding.make — everything but the
+   pipeline. Contrast with B3. *)
+let warm_cache =
+  lazy
+    (let tree = Lazy.force prepared_tree in
+     let cache = Theorem1.make_cache () in
+     ignore (Theorem1.embed ~cache tree);
+     (cache, tree))
+
 let tests =
   Test.make_grouped ~name:"xtree"
     [
@@ -74,6 +86,22 @@ let tests =
         (Staged.stage (fun () ->
              let g, pairs = Lazy.force congestion_workload in
              ignore (Xt_embedding.Congestion.analyse g pairs)));
+      (* Same-level pairs stay on the closed form: no BFS rows, and (as
+         asserted by the Gc test in test_topology.ml) no allocation —
+         bechamel's minor-words column should read 0 per query. *)
+      Test.make ~name:"B9 closed-form distance leaf sweep X(10)"
+        (Staged.stage (fun () ->
+             let xt = Lazy.force leaf_sweep_xt in
+             let lo = 1023 and hi = 2046 in
+             let total = ref 0 in
+             for v = lo to hi do
+               total := !total + Xt_topology.Xtree.distance xt lo v
+             done;
+             ignore !total));
+      Test.make ~name:"B10 theorem1 cached hit n=1008"
+        (Staged.stage (fun () ->
+             let cache, tree = Lazy.force warm_cache in
+             ignore (Theorem1.embed ~cache tree)));
     ]
 
 let run () =

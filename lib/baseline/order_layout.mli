@@ -14,4 +14,10 @@ type result = {
   height : int;
 }
 
-val embed : ?capacity:int -> order:order -> Xt_bintree.Bintree.t -> result
+type cache
+(** Canonical-shape memo shared by both orders (the order is part of the
+    key); see {!Xt_embedding.Shape_memo}. *)
+
+val make_cache : ?shards:int -> ?capacity:int -> ?max_bytes:int -> unit -> cache
+
+val embed : ?capacity:int -> ?cache:cache -> order:order -> Xt_bintree.Bintree.t -> result

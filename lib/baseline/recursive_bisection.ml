@@ -5,6 +5,12 @@ open Xt_core
 
 type result = { embedding : Embedding.t; xt : Xtree.t; height : int }
 
+type cache_meta = { m_xt : Xtree.t; m_height : int }
+
+type cache = cache_meta Shape_memo.t
+
+let make_cache ?shards ?capacity ?max_bytes () = Shape_memo.create ?shards ?capacity ?max_bytes ()
+
 (* A piece here is just a component node list; boundaries are recomputed
    against [place] on demand. *)
 let frontier_nodes tree place nodes =
@@ -15,7 +21,7 @@ let frontier_nodes tree place nodes =
       !adj)
     nodes
 
-let embed ?(capacity = 16) tree =
+let embed_uncached ~capacity tree =
   let n = Bintree.n tree in
   let height = Theorem1.height_for ~capacity n in
   let xt = Xtree.create ~height in
@@ -104,3 +110,19 @@ let embed ?(capacity = 16) tree =
   go Xtree.root (List.init n Fun.id);
   let embedding = Embedding.make ~tree ~host:(Xtree.graph xt) ~place in
   { embedding; xt; height }
+
+let embed ?(capacity = 16) ?cache tree =
+  match cache with
+  | None -> embed_uncached ~capacity tree
+  | Some memo ->
+      let prefix = Printf.sprintf "base-bisect|c=%d" capacity in
+      let place, m =
+        Shape_memo.memo memo ~prefix ~tree ~compute:(fun () ->
+            let r = embed_uncached ~capacity tree in
+            (r.embedding.Embedding.place, { m_xt = r.xt; m_height = r.height }))
+      in
+      {
+        embedding = Embedding.make ~tree ~host:(Xtree.graph m.m_xt) ~place;
+        xt = m.m_xt;
+        height = m.m_height;
+      }

@@ -16,6 +16,11 @@ type result = {
   height : int;
 }
 
-val embed : ?capacity:int -> Xt_bintree.Bintree.t -> result
+type cache
+(** Canonical-shape memo; see {!Xt_embedding.Shape_memo}. *)
+
+val make_cache : ?shards:int -> ?capacity:int -> ?max_bytes:int -> unit -> cache
+
+val embed : ?capacity:int -> ?cache:cache -> Xt_bintree.Bintree.t -> result
 (** Same host size as {!Xt_core.Theorem1.embed}, but per-vertex occupancy
     is allowed to exceed [capacity] (it is the measured quantity). *)

@@ -86,6 +86,9 @@ let opt v = if v < 0 then None else Some v
 let parent t v = opt t.parent.(v)
 let left t v = opt t.left.(v)
 let right t v = opt t.right.(v)
+let parent_id t v = t.parent.(v)
+let left_id t v = t.left.(v)
+let right_id t v = t.right.(v)
 
 let children t v =
   match (opt t.left.(v), opt t.right.(v)) with

@@ -46,6 +46,13 @@ val parent : t -> node -> node option
 val left : t -> node -> node option
 val right : t -> node -> node option
 
+val parent_id : t -> node -> int
+val left_id : t -> node -> int
+val right_id : t -> node -> int
+(** Raw ids with [-1] for absence — allocation-free variants of
+    [parent]/[left]/[right] for hot loops (the option constructors of the
+    wrapped accessors allocate on every call). *)
+
 val children : t -> node -> node list
 (** Left child first. *)
 

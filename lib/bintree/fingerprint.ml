@@ -1,0 +1,108 @@
+type t = { h0 : int; h1 : int }
+
+let equal a b = a.h0 = b.h0 && a.h1 = b.h1
+
+let compare a b =
+  let c = Int.compare a.h0 b.h0 in
+  if c <> 0 then c else Int.compare a.h1 b.h1
+
+(* %x prints a negative int as its unsigned 63-bit value, so each lane is
+   at most 16 hex digits. *)
+let to_hex fp = Printf.sprintf "%016x%016x" fp.h0 fp.h1
+
+(* SplitMix-style finalizer; multipliers are odd and fit OCaml's 63-bit
+   int. Run per lane after each combine so that shape information from
+   deep subtrees keeps diffusing into the high bits. *)
+let mix x =
+  let x = x lxor (x lsr 30) in
+  let x = x * 0x3F4A7C15ED558CCD in
+  let x = x lxor (x lsr 27) in
+  let x = x * 0x1B4B82F6A25E3A9D in
+  x lxor (x lsr 31)
+
+(* Distinct left/right multipliers per lane make the combine asymmetric:
+   mirror trees hash differently (tested in test_cache.ml). *)
+let a0 = 0x2545F4914F6CDD1D
+let b0 = 0x369DEA0F31A53F85
+let a1 = 0x106689D45497FDB5
+let b1 = 0x1E3779B97F4A7C15
+
+(* Hash of the absent child, per lane. *)
+let nil0 = mix 0x5851F42D4C957F2D
+let nil1 = mix 0x14057B7EF767814F
+
+(* Fills [h0]/[h1] with every subtree hash, bottom-up. The postorder
+   sequence is materialised as the reverse of a (root, right, left)
+   preorder, using a plain int stack: no recursion, no list cells. *)
+let fill_hashes t h0 h1 =
+  let n = Bintree.n t in
+  let order = Array.make n 0 in
+  let stack = Array.make n 0 in
+  let sp = ref 1 in
+  stack.(0) <- Bintree.root t;
+  let k = ref (n - 1) in
+  while !sp > 0 do
+    decr sp;
+    let v = stack.(!sp) in
+    order.(!k) <- v;
+    decr k;
+    let l = Bintree.left_id t v and r = Bintree.right_id t v in
+    if l >= 0 then begin
+      stack.(!sp) <- l;
+      incr sp
+    end;
+    if r >= 0 then begin
+      stack.(!sp) <- r;
+      incr sp
+    end
+  done;
+  for idx = 0 to n - 1 do
+    let v = order.(idx) in
+    let l = Bintree.left_id t v and r = Bintree.right_id t v in
+    let l0 = if l < 0 then nil0 else h0.(l) in
+    let r0 = if r < 0 then nil0 else h0.(r) in
+    let l1 = if l < 0 then nil1 else h1.(l) in
+    let r1 = if r < 0 then nil1 else h1.(r) in
+    h0.(v) <- mix ((a0 * l0) + (b0 * r0) + 0x27220A95);
+    h1.(v) <- mix ((a1 * l1) + (b1 * r1) + 0x165667B1)
+  done
+
+let subtrees t =
+  let n = Bintree.n t in
+  let h0 = Array.make n 0 and h1 = Array.make n 0 in
+  fill_hashes t h0 h1;
+  Array.init n (fun v -> { h0 = h0.(v); h1 = h1.(v) })
+
+let of_tree t =
+  let n = Bintree.n t in
+  let h0 = Array.make n 0 and h1 = Array.make n 0 in
+  fill_hashes t h0 h1;
+  let r = Bintree.root t in
+  { h0 = h0.(r); h1 = h1.(r) }
+
+let canonical_key t = Printf.sprintf "%s:%d" (to_hex (of_tree t)) (Bintree.n t)
+
+let preorder_ranks t =
+  let n = Bintree.n t in
+  let rank = Array.make n 0 in
+  let stack = Array.make n 0 in
+  let sp = ref 1 in
+  stack.(0) <- Bintree.root t;
+  let k = ref 0 in
+  while !sp > 0 do
+    decr sp;
+    let v = stack.(!sp) in
+    rank.(v) <- !k;
+    incr k;
+    (* push right first so left is ranked first *)
+    let l = Bintree.left_id t v and r = Bintree.right_id t v in
+    if r >= 0 then begin
+      stack.(!sp) <- r;
+      incr sp
+    end;
+    if l >= 0 then begin
+      stack.(!sp) <- l;
+      incr sp
+    end
+  done;
+  rank

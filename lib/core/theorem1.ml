@@ -289,7 +289,8 @@ let sweep st pool ~par ~level:j ~confined_of ~op verts =
     done
   end
 
-let embed ?(capacity = 16) ?height ?(record_trace = false) ?(options = Options.default) ?par tree =
+let embed_uncached ?(capacity = 16) ?height ?(record_trace = false) ?(options = Options.default)
+    ?par tree =
   let n = Bintree.n tree in
   let height = match height with Some h -> h | None -> height_for ~capacity n in
   if optimal_size ~capacity height < n then
@@ -354,5 +355,61 @@ let embed ?(capacity = 16) ?height ?(record_trace = false) ?(options = Options.d
            }
        else None);
   }
+
+(* ------------------------------------------------------------------ *)
+(* Canonical-shape cache                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything of a result except the embedding and the trace is shared
+   verbatim between the hits of one entry; the host [Xtree.t] in
+   particular amortises its graph (and its memoised BFS rows) across all
+   trees of the shape. *)
+type cache_meta = {
+  m_xt : Xtree.t;
+  m_height : int;
+  m_fallbacks : int;
+  m_wide : int;
+}
+
+type cache = cache_meta Shape_memo.t
+
+let make_cache ?shards ?capacity ?max_bytes () = Shape_memo.create ?shards ?capacity ?max_bytes ()
+
+let cache_length = Shape_memo.length
+
+let flag b = if b then 't' else 'f'
+
+let cache_prefix ~name ~capacity ~height (options : Options.t) =
+  (* [par] is deliberately absent: parallel sweeps are bit-identical to
+     sequential ones, so both populate and consume the same entries. *)
+  Printf.sprintf "%s|c=%d|h=%d|o=%c%c%c" name capacity height (flag options.adjust)
+    (flag options.pairing) (flag options.balance_split)
+
+let embed ?capacity ?height ?record_trace ?options ?par ?cache tree =
+  match cache with
+  | Some memo when record_trace <> Some true ->
+      let cap = Option.value capacity ~default:16 in
+      let opts = Option.value options ~default:Options.default in
+      let h =
+        match height with Some h -> h | None -> height_for ~capacity:cap (Bintree.n tree)
+      in
+      let prefix = cache_prefix ~name:"t1" ~capacity:cap ~height:h opts in
+      let place, m =
+        Shape_memo.memo memo ~prefix ~tree ~compute:(fun () ->
+            let r = embed_uncached ~capacity:cap ~height:h ~options:opts ?par tree in
+            ( r.embedding.Embedding.place,
+              { m_xt = r.xt; m_height = r.height; m_fallbacks = r.fallbacks; m_wide = r.wide_pieces }
+            ))
+      in
+      {
+        embedding = Embedding.make ~tree ~host:(Xtree.graph m.m_xt) ~place;
+        xt = m.m_xt;
+        height = m.m_height;
+        capacity = cap;
+        fallbacks = m.m_fallbacks;
+        wide_pieces = m.m_wide;
+        trace = None;
+      }
+  | _ -> embed_uncached ?capacity ?height ?record_trace ?options ?par tree
 
 let distance_oracle result = Xtree.distance result.xt

@@ -35,12 +35,26 @@ val height_for : ?capacity:int -> int -> int
 val optimal_size : ?capacity:int -> int -> int
 (** [capacity·(2{^r+1} - 1)], the paper's [n] for height [r]. *)
 
+type cache
+(** A canonical-shape memo of Theorem 1 results (placement plus shared
+    host), keyed by tree fingerprint, capacity, height and options. See
+    {!Xt_embedding.Shape_memo} for the exactness guarantee: for
+    preorder-labelled trees (everything {!Xt_bintree.Codec} parses) a hit
+    is bit-identical to the uncached run. *)
+
+val make_cache : ?shards:int -> ?capacity:int -> ?max_bytes:int -> unit -> cache
+(** Parameters as in {!Xt_prelude.Cache.create}; [capacity] counts cached
+    results, not guest nodes. *)
+
+val cache_length : cache -> int
+
 val embed :
   ?capacity:int ->
   ?height:int ->
   ?record_trace:bool ->
   ?options:Options.t ->
   ?par:bool ->
+  ?cache:cache ->
   Xt_bintree.Bintree.t ->
   result
 (** Run algorithm X-TREE. [capacity] defaults to the paper's 16. [height]
@@ -54,7 +68,12 @@ val embed :
     parallel region. The result is bit-identical to the sequential run —
     only calls proven confined to disjoint subtrees execute concurrently,
     on forked state views ({!State.fork}), and narrow levels skip the
-    machinery entirely. *)
+    machinery entirely.
+
+    [cache] memoises the whole run by tree shape: a repeated shape (same
+    capacity, height and options) reuses the stored placement and host
+    X-tree instead of re-running the pipeline. Traced runs
+    ([record_trace]) bypass the cache, as traces are not stored. *)
 
 val distance_oracle : result -> int -> int -> int
 (** Memoised X-tree distance for use with {!Xt_embedding.Embedding}

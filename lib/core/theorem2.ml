@@ -33,6 +33,6 @@ let of_theorem1 (base : Theorem1.result) =
   let embedding = Embedding.make ~tree ~host:(Xtree.graph xt) ~place in
   { embedding; xt; height; extra_levels = extra; base }
 
-let embed ?capacity tree = of_theorem1 (Theorem1.embed ?capacity tree)
+let embed ?capacity ?cache tree = of_theorem1 (Theorem1.embed ?capacity ?cache tree)
 
 let distance_oracle result = Xtree.distance result.xt

@@ -19,7 +19,11 @@ val of_theorem1 : Theorem1.result -> result
 (** Refine an existing Theorem 1 embedding. The number of extra levels is
     the smallest [k] with [2{^k}] at least the base capacity. *)
 
-val embed : ?capacity:int -> Xt_bintree.Bintree.t -> result
-(** [embed t] runs Theorem 1 and refines it. *)
+val embed : ?capacity:int -> ?cache:Theorem1.cache -> Xt_bintree.Bintree.t -> result
+(** [embed t] runs Theorem 1 and refines it. [cache] memoises the
+    Theorem 1 run by tree shape; the O(n) injective refinement is
+    deterministic in the base placement, so a cached [embed] stays
+    bit-identical to an uncached one whenever the underlying Theorem 1
+    hit is (see {!Theorem1.cache}). *)
 
 val distance_oracle : result -> int -> int -> int

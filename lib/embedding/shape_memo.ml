@@ -1,0 +1,39 @@
+open Xt_prelude
+open Xt_bintree
+
+type 'meta entry = {
+  canon : string;       (* Codec.to_string of the shape, for hit verification *)
+  cplace : int array;   (* placement indexed by preorder rank *)
+  meta : 'meta;
+}
+
+type 'meta t = 'meta entry Cache.t
+
+let create ?shards ?capacity ?max_bytes () = Cache.create ?shards ?capacity ?max_bytes ()
+
+let entry_bytes e =
+  (* Rough heap footprint: header + fields, string bytes, one word per
+     placement slot. The meta is charged a flat constant. *)
+  64 + String.length e.canon + (8 * Array.length e.cplace)
+
+let memo t ~prefix ~tree ~compute =
+  let key = prefix ^ "|" ^ Fingerprint.canonical_key tree in
+  let canon = Codec.to_string tree in
+  let rank = Fingerprint.preorder_ranks tree in
+  let n = Bintree.n tree in
+  let e =
+    Cache.with_memo t ~bytes:entry_bytes
+      ~validate:(fun e -> String.equal e.canon canon)
+      key
+      (fun () ->
+        let place, meta = compute () in
+        let cplace = Array.make n (-1) in
+        for v = 0 to n - 1 do
+          cplace.(rank.(v)) <- place.(v)
+        done;
+        { canon; cplace; meta })
+  in
+  (Array.init n (fun v -> e.cplace.(rank.(v))), e.meta)
+
+let length = Cache.length
+let clear = Cache.clear

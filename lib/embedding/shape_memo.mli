@@ -1,0 +1,47 @@
+(** Shape-keyed memoisation of placements.
+
+    The memo key is the {!Xt_bintree.Fingerprint.canonical_key} of the
+    guest tree (prefixed with the embedder's parameters), so structurally
+    equal trees share one cache entry regardless of how their nodes are
+    numbered. The stored placement is indexed by {e preorder rank} — the
+    canonical labelling {!Xt_bintree.Codec} would assign — and every
+    lookup translates through the caller's preorder isomorphism:
+
+    - a miss runs [compute] on the caller's tree and stores
+      [cplace.(rank.(v)) = place.(v)];
+    - a hit returns [place'.(v) = cplace.(rank.(v))].
+
+    For a caller whose labelling matches the entry's creator (in
+    particular {e every} tree parsed by [Codec.of_string], which numbers
+    nodes in preorder) the two maps compose to the identity, so the
+    cached placement is bit-identical to the uncached one. A hit from a
+    differently-labelled tree of the same shape receives the creator's
+    placement transported along the shape isomorphism: a valid embedding
+    with identical dilation/load/congestion, though tie-breaks inside the
+    pipeline may place individual nodes elsewhere than a from-scratch run
+    would. Hits are verified against the stored canonical string, so a
+    fingerprint collision can only cost a recomputation, never a wrong
+    placement. *)
+
+type 'meta t
+(** A memo table whose entries carry a placement plus embedder-specific
+    ['meta] (host topology, height, diagnostic counts …). *)
+
+val create : ?shards:int -> ?capacity:int -> ?max_bytes:int -> unit -> 'meta t
+(** Parameters as in {!Xt_prelude.Cache.create}; the byte estimate
+    charged per entry is the canonical string plus the placement array. *)
+
+val memo :
+  'meta t ->
+  prefix:string ->
+  tree:Xt_bintree.Bintree.t ->
+  compute:(unit -> int array * 'meta) ->
+  int array * 'meta
+(** [memo t ~prefix ~tree ~compute] returns [(place, meta)] for [tree],
+    from the cache when possible. [prefix] must determine every
+    behaviour-affecting parameter of the embedder (capacity, height,
+    options …). The returned array is fresh; [meta] is shared between
+    hits of one entry and must therefore be treated as immutable. *)
+
+val length : 'meta t -> int
+val clear : 'meta t -> unit

@@ -1,0 +1,242 @@
+open Xt_obs
+
+let c_hits = Obs.counter "cache.hits"
+let c_misses = Obs.counter "cache.misses"
+let c_evictions = Obs.counter "cache.evictions"
+let c_verify_rejects = Obs.counter "cache.verify_rejects"
+
+type 'a entry = {
+  key : string;
+  value : 'a;
+  size : int;
+  mutable prev : 'a entry option; (* towards the head (more recent) *)
+  mutable next : 'a entry option; (* towards the tail (less recent) *)
+}
+
+(* One latch per in-flight computation; waiters block on [cond] until the
+   computing domain flips [done_] and broadcasts. *)
+type latch = { lm : Mutex.t; lc : Condition.t; mutable done_ : bool }
+
+type 'a shard = {
+  lock : Mutex.t;
+  table : (string, 'a entry) Hashtbl.t;
+  inflight : (string, latch) Hashtbl.t;
+  mutable head : 'a entry option;
+  mutable tail : 'a entry option;
+  mutable count : int;
+  mutable nbytes : int;
+  cap_entries : int;
+  cap_bytes : int;
+}
+
+type 'a t = { mask : int; shards : 'a shard array }
+
+let rec pow2_at_least k n = if k >= n then k else pow2_at_least (2 * k) n
+
+let create ?(shards = 8) ?(capacity = 256) ?max_bytes () =
+  if shards < 1 then invalid_arg "Cache.create: shards < 1";
+  if capacity < 1 then invalid_arg "Cache.create: capacity < 1";
+  let nshards = pow2_at_least 1 shards in
+  let cap_entries = max 1 ((capacity + nshards - 1) / nshards) in
+  let cap_bytes =
+    match max_bytes with
+    | None -> max_int
+    | Some b ->
+        if b < 1 then invalid_arg "Cache.create: max_bytes < 1";
+        max 1 (b / nshards)
+  in
+  {
+    mask = nshards - 1;
+    shards =
+      Array.init nshards (fun _ ->
+          {
+            lock = Mutex.create ();
+            table = Hashtbl.create 64;
+            inflight = Hashtbl.create 8;
+            head = None;
+            tail = None;
+            count = 0;
+            nbytes = 0;
+            cap_entries;
+            cap_bytes;
+          });
+  }
+
+let shard_of t key = t.shards.(Hashtbl.hash key land t.mask)
+
+(* List surgery; callers hold the shard lock. *)
+
+let unlink sh e =
+  (match e.prev with Some p -> p.next <- e.next | None -> sh.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> sh.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front sh e =
+  e.prev <- None;
+  e.next <- sh.head;
+  (match sh.head with Some h -> h.prev <- Some e | None -> sh.tail <- Some e);
+  sh.head <- Some e
+
+let promote sh e =
+  if sh.head != Some e then begin
+    unlink sh e;
+    push_front sh e
+  end
+
+let drop sh e =
+  Hashtbl.remove sh.table e.key;
+  unlink sh e;
+  sh.count <- sh.count - 1;
+  sh.nbytes <- sh.nbytes - e.size
+
+let evict_over sh =
+  while
+    (sh.count > sh.cap_entries || sh.nbytes > sh.cap_bytes) && Option.is_some sh.tail
+  do
+    (match sh.tail with Some e -> drop sh e | None -> ());
+    Obs.incr c_evictions
+  done
+
+let insert sh key value size =
+  (match Hashtbl.find_opt sh.table key with Some old -> drop sh old | None -> ());
+  let e = { key; value; size; prev = None; next = None } in
+  Hashtbl.replace sh.table key e;
+  push_front sh e;
+  sh.count <- sh.count + 1;
+  sh.nbytes <- sh.nbytes + size;
+  evict_over sh
+
+(* Public operations. *)
+
+let add t ?(bytes = 0) key value =
+  let sh = shard_of t key in
+  Mutex.lock sh.lock;
+  insert sh key value bytes;
+  Mutex.unlock sh.lock
+
+let find t key =
+  let sh = shard_of t key in
+  Mutex.lock sh.lock;
+  let r =
+    match Hashtbl.find_opt sh.table key with
+    | Some e ->
+        promote sh e;
+        Some e.value
+    | None -> None
+  in
+  Mutex.unlock sh.lock;
+  (match r with Some _ -> Obs.incr c_hits | None -> Obs.incr c_misses);
+  r
+
+let mem t key =
+  let sh = shard_of t key in
+  Mutex.lock sh.lock;
+  let r = Hashtbl.mem sh.table key in
+  Mutex.unlock sh.lock;
+  r
+
+let remove t key =
+  let sh = shard_of t key in
+  Mutex.lock sh.lock;
+  (match Hashtbl.find_opt sh.table key with Some e -> drop sh e | None -> ());
+  Mutex.unlock sh.lock
+
+let length t =
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.lock;
+      let c = sh.count in
+      Mutex.unlock sh.lock;
+      acc + c)
+    0 t.shards
+
+let bytes t =
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.lock;
+      let b = sh.nbytes in
+      Mutex.unlock sh.lock;
+      acc + b)
+    0 t.shards
+
+let clear t =
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.lock;
+      Hashtbl.reset sh.table;
+      sh.head <- None;
+      sh.tail <- None;
+      sh.count <- 0;
+      sh.nbytes <- 0;
+      Mutex.unlock sh.lock)
+    t.shards
+
+let release latch =
+  Mutex.lock latch.lm;
+  latch.done_ <- true;
+  Condition.broadcast latch.lc;
+  Mutex.unlock latch.lm
+
+let with_memo t ?bytes ?validate key f =
+  let sh = shard_of t key in
+  let size_of v = match bytes with Some g -> g v | None -> 0 in
+  let valid v = match validate with Some g -> g v | None -> true in
+  (* [allow_wait] is true only on the first pass: a waiter woken by a latch
+     whose computation failed (or whose result was already evicted) computes
+     the value itself instead of queueing behind yet another latch. *)
+  let rec attempt allow_wait =
+    Mutex.lock sh.lock;
+    match Hashtbl.find_opt sh.table key with
+    | Some e when valid e.value ->
+        promote sh e;
+        Mutex.unlock sh.lock;
+        Obs.incr c_hits;
+        e.value
+    | Some e ->
+        drop sh e;
+        Obs.incr c_verify_rejects;
+        miss allow_wait
+    | None -> miss allow_wait
+  (* Called with the shard lock held; always releases it. *)
+  and miss allow_wait =
+    match Hashtbl.find_opt sh.inflight key with
+    | Some latch when allow_wait ->
+        Mutex.unlock sh.lock;
+        Mutex.lock latch.lm;
+        while not latch.done_ do
+          Condition.wait latch.lc latch.lm
+        done;
+        Mutex.unlock latch.lm;
+        attempt false
+    | _ ->
+        let latch = { lm = Mutex.create (); lc = Condition.create (); done_ = false } in
+        Hashtbl.replace sh.inflight key latch;
+        Mutex.unlock sh.lock;
+        Obs.incr c_misses;
+        let cleanup () =
+          Mutex.lock sh.lock;
+          (* Only remove our own latch: a failed computation may have been
+             superseded by another domain's in-flight entry. *)
+          (match Hashtbl.find_opt sh.inflight key with
+          | Some l when l == latch -> Hashtbl.remove sh.inflight key
+          | _ -> ());
+          Mutex.unlock sh.lock
+        in
+        let v =
+          try f ()
+          with exn ->
+            cleanup ();
+            release latch;
+            raise exn
+        in
+        Mutex.lock sh.lock;
+        insert sh key v (size_of v);
+        (match Hashtbl.find_opt sh.inflight key with
+        | Some l when l == latch -> Hashtbl.remove sh.inflight key
+        | _ -> ());
+        Mutex.unlock sh.lock;
+        release latch;
+        v
+  in
+  attempt true

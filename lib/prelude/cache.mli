@@ -1,0 +1,58 @@
+(** Domain-safe sharded LRU cache.
+
+    Keys are strings; values are arbitrary. The key space is split over a
+    power-of-two number of shards (by key hash), each shard guarded by its
+    own mutex and keeping its entries on an intrusive doubly-linked
+    recency list — concurrent {!Xt_prelude.Parallel} workers touching
+    different keys almost never contend, and every operation is O(1)
+    inside its shard.
+
+    Capacity is bounded both in entries and (approximately) in bytes;
+    least-recently-used entries are evicted when either bound is
+    exceeded. Global {!Xt_obs.Obs} counters [cache.hits], [cache.misses],
+    [cache.evictions] and [cache.verify_rejects] aggregate over all cache
+    instances in the process.
+
+    {!with_memo} is the intended entry point: concurrent misses on the
+    same key compute the value once (per-key in-flight latch) while
+    misses on different keys proceed in parallel. *)
+
+type 'a t
+
+val create : ?shards:int -> ?capacity:int -> ?max_bytes:int -> unit -> 'a t
+(** [shards] (default 8) is rounded up to a power of two. [capacity]
+    (default 256) bounds the total entry count; [max_bytes] (default
+    unlimited) bounds the sum of the per-entry byte estimates supplied at
+    insertion. Both bounds are split evenly across shards. *)
+
+val with_memo :
+  'a t ->
+  ?bytes:('a -> int) ->
+  ?validate:('a -> bool) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [with_memo t key f] returns the cached value for [key], or computes
+    [f ()], stores it and returns it. A hit for which [validate] returns
+    [false] (hash collision, counted as a verify-reject) is dropped and
+    recomputed. If another domain is already computing [key], the call
+    waits on the in-flight latch instead of duplicating the work; [f] runs
+    outside all locks. [bytes] estimates the stored size for the byte
+    bound. Exceptions from [f] propagate (after waking any waiters) and
+    cache nothing. *)
+
+val find : 'a t -> string -> 'a option
+(** Counts a hit or a miss, and promotes the entry on hit. *)
+
+val mem : 'a t -> string -> bool
+(** Neutral: no counters, no promotion. *)
+
+val add : 'a t -> ?bytes:int -> string -> 'a -> unit
+(** Insert or replace (replacement promotes), then evict as needed. *)
+
+val remove : 'a t -> string -> unit
+val length : 'a t -> int
+val bytes : 'a t -> int
+
+val clear : 'a t -> unit
+(** Drop all entries (not counted as evictions). *)

@@ -126,3 +126,25 @@ Weight-aware embedding with heterogeneous node costs:
   $ xtree weighted -f uniform -n 1000 -s 1 --budget 128
   weighted: total=8397 host=X(6) budget=128 max-vertex=128 imbalance=1.91 dilation=4
   weight-blind theorem1 on the same host: max-vertex=212
+
+Batch embedding through the canonical-shape cache: structurally repeated
+trees are embedded once, results fan back out in input order, and the
+cache counters expose the dedupe (one miss per unique shape, one hit per
+served line):
+
+  $ xtree generate -f complete -n 31 -s 1 -o shape-a.txt
+  family=complete nodes=31 height=4 leaves=16 max-degree=3
+  written to shape-a.txt
+  $ xtree generate -f caterpillar -n 31 -s 2 -o shape-b.txt
+  family=caterpillar nodes=31 height=20 leaves=11 max-degree=3
+  written to shape-b.txt
+  $ { cat shape-a.txt; echo; cat shape-b.txt; echo; cat shape-a.txt; echo; } > batch.txt
+  $ XT_DOMAINS=1 xtree embed-batch -i batch.txt --metrics | grep -E '^[0-9]+:|^batch:|^cache\.'
+  0: n=31 dilation=1 load=16 host=X(1)
+  1: n=31 dilation=1 load=16 host=X(1)
+  2: n=31 dilation=1 load=16 host=X(1)
+  batch: trees=3 unique=2
+  cache.evictions = 0
+  cache.hits = 3
+  cache.misses = 2
+  cache.verify_rejects = 0

@@ -20,4 +20,5 @@ let () =
       ("baseline", Test_baseline.suite);
       ("netsim", Test_netsim.suite);
       ("obs", Test_obs.suite);
+      ("cache", Test_cache.suite);
     ]

@@ -338,6 +338,32 @@ let test_route_next_hop_validation () =
   Alcotest.check_raises "same vertex" (Invalid_argument "Xtree.route_next_hop: already there")
     (fun () -> ignore (Xtree.route_next_hop t ~src:3 ~dst:3))
 
+(* The closed-form branches of [Xtree.distance] (same-level and ancestor
+   pairs) and [analytic_distance] are the hot path of every embedding
+   metric; assert they stay allocation-free (ISSUE 4 satellite). *)
+let test_distance_allocation_free () =
+  let t = Xtree.create ~height:10 in
+  let leaf0 = 1023 and n = 2047 in
+  (* warm up: everything below must be in closed form, but be safe *)
+  ignore (Xtree.distance t leaf0 2046);
+  Gc.minor ();
+  let before = Gc.minor_words () in
+  let total = ref 0 in
+  for v = leaf0 to n - 1 do
+    for _rep = 1 to 32 do
+      total := !total + Xtree.distance t leaf0 v (* same level: closed form *)
+    done;
+    total := !total + Xtree.distance t 0 v (* ancestor: closed form *)
+  done;
+  for v = 0 to n - 1 do
+    total := !total + Xtree.analytic_distance 1000 v
+  done;
+  let allocated = Gc.minor_words () -. before in
+  ignore !total;
+  checkb
+    (Printf.sprintf "~35k closed-form queries allocated %.0f words" allocated)
+    true (allocated < 256.)
+
 let suite =
   suite
   @ [
@@ -346,4 +372,5 @@ let suite =
       ("graph edge ids", `Quick, test_graph_edge_ids);
       ("greedy route is shortest", `Quick, test_route_is_shortest);
       ("route next hop validation", `Quick, test_route_next_hop_validation);
+      ("closed-form distance allocation free", `Quick, test_distance_allocation_free);
     ]
