@@ -32,6 +32,47 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* ISSUE 5 acceptance record: measured speedup of the active-set
+   simulator core over the retained sweep-based reference on the
+   latency-bound pingpong workload, r = 9 X-tree host. Runs with
+   metrics disabled (before the table pass enables them) so the replays
+   don't pollute the counters block. *)
+
+module RefW = Xt_netsim.Workload.Make (Xt_netsim.Sim_ref)
+
+type sim_record = {
+  sim_r : int;
+  sim_host : string;
+  active_set_seconds : float;
+  ref_core_seconds : float;
+  cycles_identical : bool;
+}
+
+let measure_sim_speedup () =
+  let r = 9 in
+  let tree = Tables.tree_of "uniform" (Xt_core.Theorem1.optimal_size r) in
+  let res = Xt_core.Theorem1.embed tree in
+  let e = res.Xt_core.Theorem1.embedding in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let fast_cycles, fast_s =
+    time (fun () ->
+        Xt_netsim.Workload.run_embedded Xt_netsim.Workload.pingpong_sweep e)
+  in
+  let ref_cycles, ref_s =
+    time (fun () -> RefW.run_embedded RefW.pingpong_sweep e)
+  in
+  {
+    sim_r = r;
+    sim_host = Printf.sprintf "X(%d)" res.Xt_core.Theorem1.height;
+    active_set_seconds = fast_s;
+    ref_core_seconds = ref_s;
+    cycles_identical = fast_cycles = ref_cycles;
+  }
+
 (* Machine-readable run record. [speedup_vs_sequential] is estimated from
    one run as (sum of per-job times) / wall: the jobs are independent, so
    the sum approximates the sequential wall-clock on the same machine.
@@ -39,7 +80,7 @@ let json_escape s =
    per domain — with domains oversubscribed onto fewer cores the jobs
    time-slice and the ratio flatters the run — so
    [speedup_estimate_reliable] records whether cores >= domains. *)
-let write_json file ~jobs_flag ~smoke ~wall timings =
+let write_json file ~jobs_flag ~smoke ~wall ~sim timings =
   let sum = List.fold_left (fun acc t -> acc +. t.Tables.seconds) 0. timings in
   let cores = Domain.recommended_domain_count () in
   let domains = Xt_prelude.Parallel.domain_budget () in
@@ -66,6 +107,19 @@ let write_json file ~jobs_flag ~smoke ~wall timings =
         (if i = List.length counters - 1 then "" else ","))
     counters;
   Printf.fprintf oc "  },\n";
+  (match sim with
+  | None -> ()
+  | Some s ->
+      Printf.fprintf oc "  \"sim\": {\n";
+      Printf.fprintf oc "    \"workload\": \"pingpong-sweep\",\n";
+      Printf.fprintf oc "    \"r\": %d,\n" s.sim_r;
+      Printf.fprintf oc "    \"host\": \"%s\",\n" (json_escape s.sim_host);
+      Printf.fprintf oc "    \"ref_core_seconds\": %.6f,\n" s.ref_core_seconds;
+      Printf.fprintf oc "    \"active_set_seconds\": %.6f,\n" s.active_set_seconds;
+      Printf.fprintf oc "    \"speedup\": %.2f,\n"
+        (if s.active_set_seconds > 0. then s.ref_core_seconds /. s.active_set_seconds else 0.);
+      Printf.fprintf oc "    \"cycles_identical\": %b\n" s.cycles_identical;
+      Printf.fprintf oc "  },\n");
   Printf.fprintf oc "  \"sum_seconds\": %.6f,\n" sum;
   Printf.fprintf oc "  \"wall_seconds\": %.6f,\n" wall;
   Printf.fprintf oc "  \"speedup_vs_sequential\": %.3f,\n" (if wall > 0. then sum /. wall else 1.);
@@ -98,6 +152,9 @@ let () =
   print_newline ();
   if tables then begin
     let json_file = find_value "--json" args in
+    (* Metrics are still off here, so the speedup replays leave no
+       trace in the counters block below. *)
+    let sim = if json_file <> None && not smoke then Some (measure_sim_speedup ()) else None in
     (* The JSON record carries the work counters, so count while the
        tables run; without --json the harness stays instrumentation-free. *)
     if json_file <> None then Xt_obs.Obs.enable_metrics ();
@@ -105,7 +162,7 @@ let () =
     let timings = Tables.run_jobs ~smoke () in
     let wall = Unix.gettimeofday () -. t0 in
     match json_file with
-    | Some file -> write_json file ~jobs_flag ~smoke ~wall timings
+    | Some file -> write_json file ~jobs_flag ~smoke ~wall ~sim timings
     | None -> ()
   end;
   if micro then Micro.run ()

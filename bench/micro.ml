@@ -42,6 +42,20 @@ let warm_cache =
      ignore (Theorem1.embed ~cache tree);
      (cache, tree))
 
+(* B11 measures the sim's single-message hot path end to end on X(9):
+   one send plus a fast-forwarded run across the host — arena alloc,
+   ring push, idle-skip route walk, delivery. The active-set core makes
+   this O(route length); on the old sweep core it was O(cycles x 2m). *)
+let pingpong_host =
+  lazy
+    (let xt = Xt_topology.Xtree.create ~height:9 in
+     let g = Xt_topology.Xtree.graph xt in
+     let sim = Xt_netsim.Sim.create g in
+     (* warm the router rows and size the arena outside the measurement *)
+     Xt_netsim.Sim.send sim ~src:511 ~dst:1022 ~tag:0;
+     ignore (Xt_netsim.Sim.run sim ~on_deliver:(fun ~tag:_ _ -> ()));
+     sim)
+
 let tests =
   Test.make_grouped ~name:"xtree"
     [
@@ -102,6 +116,11 @@ let tests =
         (Staged.stage (fun () ->
              let cache, tree = Lazy.force warm_cache in
              ignore (Theorem1.embed ~cache tree)));
+      Test.make ~name:"B11 single-message hot path X(9)"
+        (Staged.stage (fun () ->
+             let sim = Lazy.force pingpong_host in
+             Xt_netsim.Sim.send sim ~src:511 ~dst:1022 ~tag:0;
+             ignore (Xt_netsim.Sim.run sim ~on_deliver:(fun ~tag:_ _ -> ()))));
     ]
 
 let run () =

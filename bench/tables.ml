@@ -359,7 +359,7 @@ let e7_simulation () =
   in
   List.iter
     (fun name ->
-      let n = Theorem1.optimal_size 5 in
+      let n = Theorem1.optimal_size 7 in
       let tree = tree_of name n in
       let res = Theorem1.embed tree in
       List.iter
@@ -388,7 +388,7 @@ let e7b_host_comparison () =
   in
   List.iter
     (fun name ->
-      let n = Theorem1.optimal_size 5 in
+      let n = Theorem1.optimal_size 7 in
       let tree = tree_of name n in
       let native = Workload.run_native Workload.reduction tree in
       let add label e =
@@ -452,7 +452,7 @@ let e7c_compute_bound () =
   in
   List.iter
     (fun name ->
-      let n = Theorem1.optimal_size 4 in
+      let n = Theorem1.optimal_size 6 in
       let tree = tree_of name n in
       let res = Theorem1.embed tree in
       List.iter
@@ -938,6 +938,56 @@ let d1_dedup () =
     [ (4, 120, 12); (5, 160, 12) ];
   t
 
+let d2_sim_throughput () =
+  let t =
+    Tab.create
+      ~title:
+        "D2  Simulator throughput: active-set core, native vs Theorem 1 X-tree vs Theorem 3 hypercube hosts"
+      [ "r"; "workload"; "host"; "cycles"; "delivered"; "hops"; "max queue"; "kmsg/s"; "Mcycle/s" ]
+  in
+  List.iter
+    (fun r ->
+      let n = Theorem1.optimal_size r in
+      let tree = tree_of "uniform" n in
+      let t1 = Theorem1.embed tree in
+      let t3 = Hypercube_transfer.embed tree in
+      List.iter
+        (fun (w : Workload.spec) ->
+          let cases =
+            [
+              Workload.native_case ~label:"native" w tree;
+              Workload.embedded_case
+                ~label:(Printf.sprintf "X(%d)" t1.Theorem1.height)
+                w t1.Theorem1.embedding;
+              Workload.embedded_case
+                ~label:(Printf.sprintf "Q_%d" t3.Hypercube_transfer.dim)
+                w t3.Hypercube_transfer.embedding;
+            ]
+          in
+          List.iter
+            (fun (o : Workload.outcome) ->
+              let rate scale v =
+                if !live_timings && o.Workload.seconds > 0. then
+                  Printf.sprintf "%.1f" (float_of_int v /. o.Workload.seconds /. scale)
+                else "-"
+              in
+              Tab.add_row t
+                [
+                  string_of_int r;
+                  w.Workload.name;
+                  o.Workload.case.Workload.label;
+                  string_of_int o.Workload.cycles;
+                  string_of_int o.Workload.delivered;
+                  string_of_int o.Workload.hops;
+                  string_of_int o.Workload.max_queue;
+                  rate 1e3 o.Workload.delivered;
+                  rate 1e6 o.Workload.cycles;
+                ])
+            (Workload.run_suite cases))
+        [ Workload.reduction; Workload.pingpong_sweep; Workload.permutation ])
+    [ 5; 7; 9; 10 ];
+  t
+
 (* ------------------------------------------------------------------ *)
 (* Job registry: every table as an independent, order-free job. [smoke]
    marks the cheap ones the @bench-smoke alias runs in a few seconds. *)
@@ -975,6 +1025,7 @@ let jobs =
     { name = "E18"; smoke = false; table = e18_scaling };
     { name = "E19"; smoke = false; table = e19_weighted };
     { name = "D1"; smoke = false; table = d1_dedup };
+    { name = "D2"; smoke = false; table = d2_sim_throughput };
   ]
 
 type timing = { job : string; seconds : float }

@@ -391,37 +391,90 @@ let workload_arg =
   let doc = Printf.sprintf "Workload: %s." (String.concat ", " names) in
   Arg.(value & opt string "reduction" & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc)
 
-let simulate_run family size seed workload chrome_trace metrics =
-  match List.find_opt (fun (w : Workload.spec) -> w.Workload.name = workload) Workload.workloads with
-  | None ->
-      Printf.eprintf "unknown workload %S\n" workload;
-      exit 2
-  | Some w ->
-      obs_begin ~trace:chrome_trace ~metrics;
-      let t = make_tree family size seed in
-      let res = Theorem1.embed t in
-      let native = Workload.run_native w t in
-      let sim, embedded = Workload.run_on w res.Theorem1.embedding in
-      Printf.printf "%s on %s (n=%d): native=%d cycles, on X(%d)=%d cycles, slowdown %.2fx\n"
-        workload family size native res.Theorem1.height embedded
-        (float_of_int embedded /. float_of_int (max 1 native));
-      let lats = Sim.latencies sim in
-      if Array.length lats > 0 then begin
-        let q = Stats.quantiles_of_ints lats in
-        let busiest = Stats.max_int_array (Sim.link_loads sim) in
-        Printf.printf
-          "latency cycles: p50=%.0f p90=%.0f p99=%.0f max=%d; busiest link carried %d, max queue %d\n"
-          q.Stats.p50 q.Stats.p90 q.Stats.p99
-          (Stats.max_int_array lats) busiest (Sim.max_link_queue sim)
-      end;
-      obs_end ~trace:chrome_trace ~metrics
+let link_capacity_arg =
+  let doc = "Messages a directed link can carry per cycle." in
+  Arg.(value & opt int 1 & info [ "link-capacity" ] ~docv:"K" ~doc)
+
+let service_rate_arg =
+  let doc = "Messages a vertex CPU can complete per cycle (0 = unlimited)." in
+  Arg.(value & opt int 0 & info [ "service-rate" ] ~docv:"K" ~doc)
+
+let suite_arg =
+  let doc = "Replay every workload (natively and embedded) and print one table." in
+  Arg.(value & flag & info [ "suite" ] ~doc)
+
+let simulate_suite ~family ~size ~link_capacity ~service_rate t (res : Theorem1.result) =
+  let cases =
+    List.concat_map
+      (fun (w : Workload.spec) ->
+        [ Workload.native_case w t; Workload.embedded_case w res.Theorem1.embedding ])
+      Workload.workloads
+  in
+  let outcomes = Workload.run_suite ~link_capacity ?service_rate cases in
+  let tab =
+    Tab.create
+      ~title:
+        (Printf.sprintf "workload suite on %s (n=%d), host X(%d)" family size
+           res.Theorem1.height)
+      [ "workload"; "native"; "x-tree"; "slowdown"; "hops"; "max queue"; "max inbox" ]
+  in
+  let rec rows = function
+    | (native : Workload.outcome) :: (embedded : Workload.outcome) :: rest ->
+        Tab.add_row tab
+          [
+            native.Workload.case.Workload.workload.Workload.name;
+            string_of_int native.Workload.cycles;
+            string_of_int embedded.Workload.cycles;
+            Printf.sprintf "%.2f" (float_of_int embedded.Workload.cycles /. float_of_int (max 1 native.Workload.cycles));
+            string_of_int embedded.Workload.hops;
+            string_of_int embedded.Workload.max_queue;
+            string_of_int embedded.Workload.max_inbox;
+          ];
+        rows rest
+    | _ -> ()
+  in
+  rows outcomes;
+  Tab.print tab
+
+let simulate_run family size seed workload link_capacity service_rate suite chrome_trace
+    metrics =
+  let service_rate = if service_rate = 0 then None else Some service_rate in
+  obs_begin ~trace:chrome_trace ~metrics;
+  let t = make_tree family size seed in
+  let res = Theorem1.embed t in
+  (if suite then simulate_suite ~family ~size ~link_capacity ~service_rate t res
+   else
+     match
+       List.find_opt (fun (w : Workload.spec) -> w.Workload.name = workload) Workload.workloads
+     with
+     | None ->
+         Printf.eprintf "unknown workload %S\n" workload;
+         exit 2
+     | Some w ->
+         let native = Workload.run_native ~link_capacity ?service_rate w t in
+         let sim, embedded = Workload.run_on ~link_capacity ?service_rate w res.Theorem1.embedding in
+         Printf.printf "%s on %s (n=%d): native=%d cycles, on X(%d)=%d cycles, slowdown %.2fx\n"
+           workload family size native res.Theorem1.height embedded
+           (float_of_int embedded /. float_of_int (max 1 native));
+         let lats = Sim.latencies sim in
+         if Array.length lats > 0 then begin
+           let q = Stats.quantiles_of_ints lats in
+           let busiest = Stats.max_int_array (Sim.link_loads sim) in
+           Printf.printf
+             "latency cycles: p50=%.0f p90=%.0f p99=%.0f max=%d; busiest link carried %d, max queue %d, max inbox %d\n"
+             q.Stats.p50 q.Stats.p90 q.Stats.p99
+             (Stats.max_int_array lats) busiest (Sim.max_link_queue sim)
+             (Sim.max_inbox_queue sim)
+         end);
+  obs_end ~trace:chrome_trace ~metrics
 
 let simulate_cmd =
   let doc = "Simulate a tree workload natively and on the embedded X-tree network." in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
-      const simulate_run $ family_arg $ size_arg $ seed_arg $ workload_arg $ chrome_trace_arg
+      const simulate_run $ family_arg $ size_arg $ seed_arg $ workload_arg
+      $ link_capacity_arg $ service_rate_arg $ suite_arg $ chrome_trace_arg
       $ metrics_arg)
 
 (* ---------------- neighbourhood ---------------- *)

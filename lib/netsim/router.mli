@@ -1,8 +1,14 @@
 (** Shortest-path next-hop routing over a host graph.
 
     Routes follow the BFS tree of each destination, so every message takes
-    a true shortest path and routing is deterministic. Next-hop rows are
-    computed lazily per destination and memoised. *)
+    a true shortest path and routing is deterministic. On general hosts
+    next-hop rows are computed lazily per destination and memoised in
+    dense arrays; on tree hosts (where the shortest path is unique, so
+    the next hop is forced) a single binary-lifting ancestor table
+    replaces the per-destination rows, keeping memory O(n log n) instead
+    of O(n^2) for large native guests. Either way {!next_hop} is
+    allocation-free after warm-up — the simulator calls it once per
+    message hop. *)
 
 type t
 

@@ -8,15 +8,26 @@
     naturally. [run] executes until the network is quiescent and returns
     the cycle count — the quantity the paper's dilation is a proxy for.
 
-    Link queues are kept in dense arrays indexed by directed link id
-    ([2 * edge_id + direction], from {!Xt_topology.Graph.edge_index}),
-    so a send performs no hashing and per-link measurements are plain
-    array sweeps. The simulator records through [Xt_obs.Obs]: the
-    [netsim.sent] / [netsim.delivered] / [netsim.hops] counters and the
+    The core is event-driven: dense active sets track only the links
+    and inboxes that currently hold messages (drained in link-index
+    order, so results are bit-identical to a full sweep — the retained
+    {!Sim_ref} is the executable specification), message FIFOs are
+    growable int rings over a flat arena, and the steady-state loop
+    allocates nothing. When the network is latency-bound — exactly one
+    message in flight, sitting on a link — [run] skips the idle cycles
+    and fast-forwards the message along its whole remaining route, so
+    serial workloads cost O(total hops) instead of
+    O(cycles × topology).
+
+    The simulator records through [Xt_obs.Obs]: the [netsim.sent] /
+    [netsim.delivered] / [netsim.hops] counters and the
     [netsim.latency_cycles] histogram when metrics are enabled, and
     per-cycle [netsim.in_flight] / [netsim.queued] /
-    [netsim.queue_depth_max] / [netsim.link_util_pct] counter tracks
-    when tracing is enabled. *)
+    [netsim.queue_depth_max] / [netsim.inbox_depth_max] /
+    [netsim.link_util_pct] counter tracks when tracing is enabled
+    (emitted only on stepped cycles; a skipped stretch leaves a
+    [netsim.idle_skip] instant carrying the number of cycles
+    jumped). *)
 
 type t
 
@@ -43,6 +54,12 @@ val delivered : t -> int
 
 val max_link_queue : t -> int
 (** High-water mark of any link queue — a congestion indicator. *)
+
+val max_inbox_queue : t -> int
+(** High-water mark of any vertex inbox — the computation-side backlog
+    that builds up whenever [service_rate] is finite. Every delivered
+    message passes through its destination inbox, so this is at least 1
+    once anything has arrived. *)
 
 val link_loads : t -> int array
 (** Total messages that traversed each directed link, indexed by

@@ -79,7 +79,25 @@ load from its dense link-indexed queues:
 
   $ xtree simulate -f uniform -n 240 -s 7
   reduction on uniform (n=240): native=36 cycles, on X(3)=39 cycles, slowdown 1.08x
-  latency cycles: p50=1 p90=1 p99=2 max=2; busiest link carried 4, max queue 2
+  latency cycles: p50=1 p90=1 p99=2 max=2; busiest link carried 4, max queue 2, max inbox 8
+
+The full workload suite in one table (trailing padding trimmed for the
+cram), then the conservation counters — everything sent was delivered:
+
+  $ xtree simulate --suite -f uniform -n 240 -s 7 | sed 's/ *$//'
+  == workload suite on uniform (n=240), host X(3) ==
+  workload        native  x-tree  slowdown  hops  max queue  max inbox
+  --------------------------------------------------------------------
+  reduction       36      39      1.08      46    2          8
+  broadcast       36      40      1.11      46    2          4
+  all-reduce      72      79      1.10      92    2          8
+  pingpong-sweep  478     494     1.03      92    1          1
+  permutation     89      30      0.34      596   16         3
+
+  $ xtree simulate --suite -f uniform -n 240 -s 7 --metrics | grep -E '^netsim\.(sent|delivered|hops) '
+  netsim.delivered = 3348
+  netsim.hops = 7256
+  netsim.sent = 3348
 
 An embedding read back from a file, with the repair pass:
 

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Simulator smoke assertions for the @sim-smoke alias.
+set -eu
+
+grep -q '^== workload suite on uniform (n=496)' sim-smoke.out
+for w in reduction broadcast all-reduce pingpong-sweep permutation; do
+  grep -q "^$w " sim-smoke.out
+done
+
+# conservation: everything sent was delivered, and something was sent
+sent=$(sed -n 's/^netsim.sent = //p' sim-smoke.out)
+delivered=$(sed -n 's/^netsim.delivered = //p' sim-smoke.out)
+test "$sent" -gt 0
+test "$sent" -eq "$delivered"

@@ -19,6 +19,7 @@ let () =
       ("internals", Test_internals.suite);
       ("baseline", Test_baseline.suite);
       ("netsim", Test_netsim.suite);
+      ("netsim-ref", Test_netsim_ref.suite);
       ("obs", Test_obs.suite);
       ("cache", Test_cache.suite);
     ]

@@ -189,10 +189,44 @@ let test_service_rate_models_load () =
   (* 14 messages all served by a single CPU, one per cycle: >= 14 *)
   checkb (Printf.sprintf "cycles %d >= 14" cycles) true (cycles >= 14)
 
+let test_max_inbox_queue () =
+  (* every delivery passes through the destination inbox, so the mark is
+     at least 1; simultaneous arrivals at one vertex stack up there even
+     when service is unlimited (both are served the same cycle) *)
+  let host = path_host 3 in
+  let one = Sim.create host in
+  Sim.send one ~src:0 ~dst:1 ~tag:0;
+  ignore (Sim.run one ~on_deliver:(fun ~tag:_ _ -> ()));
+  check "single message" 1 (Sim.max_inbox_queue one);
+  let fast = Sim.create host in
+  Sim.send fast ~src:0 ~dst:1 ~tag:0;
+  Sim.send fast ~src:2 ~dst:1 ~tag:1;
+  ignore (Sim.run fast ~on_deliver:(fun ~tag:_ _ -> ()));
+  check "two arrivals, unlimited rate" 2 (Sim.max_inbox_queue fast);
+  let slow = Sim.create ~service_rate:1 host in
+  Sim.send slow ~src:0 ~dst:1 ~tag:0;
+  Sim.send slow ~src:2 ~dst:1 ~tag:1;
+  ignore (Sim.run slow ~on_deliver:(fun ~tag:_ _ -> ()));
+  check "two arrivals, rate 1" 2 (Sim.max_inbox_queue slow);
+  check "link queues never built up" 1 (Sim.max_link_queue slow)
+
+let test_run_suite_matches_single_runs () =
+  let t = Gen.complete 15 in
+  let cases = List.map (fun w -> Workload.native_case w t) Workload.workloads in
+  let outcomes = Workload.run_suite ~domains:2 cases in
+  List.iter2
+    (fun (w : Workload.spec) (o : Workload.outcome) ->
+      check (w.Workload.name ^ " suite cycles") (Workload.run_native w t) o.Workload.cycles;
+      checkb (w.Workload.name ^ " delivered") true (o.Workload.delivered > 0);
+      checkb (w.Workload.name ^ " inbox mark") true (o.Workload.max_inbox >= 1))
+    Workload.workloads outcomes
+
 let suite =
   suite
   @ [
       ("permutation workload", `Quick, test_permutation_workload);
       ("service rate serialises", `Quick, test_service_rate_serialises);
       ("service rate models load", `Quick, test_service_rate_models_load);
+      ("max inbox queue", `Quick, test_max_inbox_queue);
+      ("run_suite matches single runs", `Quick, test_run_suite_matches_single_runs);
     ]
