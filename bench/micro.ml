@@ -121,6 +121,16 @@ let tests =
              let sim = Lazy.force pingpong_host in
              Xt_netsim.Sim.send sim ~src:511 ~dst:1022 ~tag:0;
              ignore (Xt_netsim.Sim.run sim ~on_deliver:(fun ~tag:_ _ -> ()))));
+      (* Contrast with B2: same split, but on a long-lived workspace —
+         what every Theorem 1 pipeline call pays per piece now that
+         workspaces live in per-domain slots. The gap is the cost of
+         allocating and re-touching the scratch arrays. *)
+      Test.make ~name:"B12 lemma2 split reused ws n=1008"
+        (Staged.stage
+           (let tree = Lazy.force prepared_tree in
+            let ws = Separator.make_ws tree in
+            let piece = { Separator.nodes = List.init n_bench Fun.id; r1 = 0; r2 = None } in
+            fun () -> ignore (Separator.lemma2 ws piece ~target:(n_bench / 2))));
     ]
 
 let run () =

@@ -112,6 +112,16 @@ let f3_network_zoo () =
 
 (* ------------------------------------------------------------------ *)
 
+(* One separator workspace per domain, rebound to whatever tree the
+   current cell works on — the parallel trial loops below never allocate
+   scratch proportional to the tree. *)
+let sep_slots : Separator.ws Parallel.slots = Parallel.make_slots ()
+
+let domain_ws tree =
+  let ws = Parallel.slot sep_slots ~default:(fun () -> Separator.make_ws tree) in
+  Separator.rebind_ws ws tree;
+  ws
+
 let lemma_table ~title ~seed ~lemma ~bound_of ~max_target () =
   let t =
     Tab.create ~title
@@ -125,29 +135,47 @@ let lemma_table ~title ~seed ~lemma ~bound_of ~max_target () =
       List.iter
         (fun n ->
           let tree = tree_of name n in
-          let ws = Separator.make_ws tree in
           let nodes = List.init n Fun.id in
           let low_degree = List.filter (fun v -> Bintree.degree tree v <= 2) nodes in
           let trials = 60 in
+          (* draw every trial's parameters up front, in the exact order the
+             sequential loop drew them, then evaluate the trials over the
+             pool: the folds below are max/and, so the cell is independent
+             of evaluation order *)
+          let params =
+            Array.init trials (fun _ ->
+                let r1 = List.nth low_degree (Rng.int rng (List.length low_degree)) in
+                let r2_raw = Rng.int rng n in
+                let r2 = if r2_raw = r1 then None else Some r2_raw in
+                let target = 1 + Rng.int rng (max_target n) in
+                (r1, r2, target))
+          in
+          let outcomes =
+            Parallel.map_array
+              (fun (r1, r2, target) ->
+                let ws = domain_ws tree in
+                let piece = { Separator.nodes; r1; r2 } in
+                let sp = lemma ws piece ~target in
+                let _, n2 = Separator.side_sizes sp in
+                let ok = Separator.verify_split ws piece sp = Ok () in
+                ( abs (n2 - target),
+                  bound_of target,
+                  List.length sp.Separator.s1,
+                  List.length sp.Separator.s2,
+                  ok ))
+              params
+          in
           let max_err = ref 0 and max_s1 = ref 0 and max_s2 = ref 0 in
           let worst_bound = ref 0 and valid = ref true in
-          for _ = 1 to trials do
-            let r1 = List.nth low_degree (Rng.int rng (List.length low_degree)) in
-            let r2_raw = Rng.int rng n in
-            let r2 = if r2_raw = r1 then None else Some r2_raw in
-            let piece = { Separator.nodes; r1; r2 } in
-            let target = 1 + Rng.int rng (max_target n) in
-            let sp = lemma ws piece ~target in
-            let _, n2 = Separator.side_sizes sp in
-            let err = abs (n2 - target) in
-            let bound = bound_of target in
-            if err > !max_err then max_err := err;
-            if err > bound then valid := false;
-            if bound > !worst_bound then worst_bound := bound;
-            if List.length sp.Separator.s1 > !max_s1 then max_s1 := List.length sp.Separator.s1;
-            if List.length sp.Separator.s2 > !max_s2 then max_s2 := List.length sp.Separator.s2;
-            if Separator.verify_split ws piece sp <> Ok () then valid := false
-          done;
+          Array.iter
+            (fun (err, bound, s1, s2, ok) ->
+              if err > !max_err then max_err := err;
+              if err > bound then valid := false;
+              if bound > !worst_bound then worst_bound := bound;
+              if s1 > !max_s1 then max_s1 := s1;
+              if s2 > !max_s2 then max_s2 := s2;
+              if not ok then valid := false)
+            outcomes;
           Tab.add_row t
             [
               name;
@@ -323,32 +351,38 @@ let e6_constant_vs_growing () =
       ~title:"E6  Who wins: Theorem 1 vs baselines (dilation/load; paper: only X-TREE keeps both constant)"
       [ "family"; "r"; "T1 dil"; "T1 load"; "bisect dil"; "bisect load"; "dfs dil"; "dfs load"; "bfs dil"; "bfs load" ]
   in
-  List.iter
-    (fun name ->
-      List.iter
-        (fun r ->
-          let n = Theorem1.optimal_size r in
-          let tree = tree_of name n in
-          let t1 = Theorem1.embed tree in
-          let d1 = Embedding.dilation ~dist:(Theorem1.distance_oracle t1) t1.Theorem1.embedding in
-          let rb = Recursive_bisection.embed tree in
-          let dfs = Order_layout.embed ~order:Order_layout.Dfs tree in
-          let bfs = Order_layout.embed ~order:Order_layout.Bfs tree in
-          Tab.add_row t
-            [
-              name;
-              string_of_int r;
-              string_of_int d1;
-              string_of_int (Embedding.load t1.Theorem1.embedding);
-              string_of_int (Embedding.dilation rb.Recursive_bisection.embedding);
-              string_of_int (Embedding.load rb.Recursive_bisection.embedding);
-              string_of_int (Embedding.dilation dfs.Order_layout.embedding);
-              string_of_int (Embedding.load dfs.Order_layout.embedding);
-              string_of_int (Embedding.dilation bfs.Order_layout.embedding);
-              string_of_int (Embedding.load bfs.Order_layout.embedding);
-            ])
-        [ 3; 5; 7; 9 ])
-    [ "path"; "caterpillar"; "uniform"; "random-bst" ];
+  (* cells are independent and deterministic per (family, r): fan out over
+     the pool, then add the rows in registry order *)
+  let cells =
+    List.concat_map
+      (fun name -> List.map (fun r -> (name, r)) [ 3; 5; 7; 9 ])
+      [ "path"; "caterpillar"; "uniform"; "random-bst" ]
+  in
+  let rows =
+    Parallel.map
+      (fun (name, r) ->
+        let n = Theorem1.optimal_size r in
+        let tree = tree_of name n in
+        let t1 = Theorem1.embed tree in
+        let d1 = Embedding.dilation ~dist:(Theorem1.distance_oracle t1) t1.Theorem1.embedding in
+        let rb = Recursive_bisection.embed tree in
+        let dfs = Order_layout.embed ~order:Order_layout.Dfs tree in
+        let bfs = Order_layout.embed ~order:Order_layout.Bfs tree in
+        [
+          name;
+          string_of_int r;
+          string_of_int d1;
+          string_of_int (Embedding.load t1.Theorem1.embedding);
+          string_of_int (Embedding.dilation rb.Recursive_bisection.embedding);
+          string_of_int (Embedding.load rb.Recursive_bisection.embedding);
+          string_of_int (Embedding.dilation dfs.Order_layout.embedding);
+          string_of_int (Embedding.load dfs.Order_layout.embedding);
+          string_of_int (Embedding.dilation bfs.Order_layout.embedding);
+          string_of_int (Embedding.load bfs.Order_layout.embedding);
+        ])
+      cells
+  in
+  List.iter (Tab.add_row t) rows;
   t
 
 let e7_simulation () =
@@ -621,28 +655,29 @@ let e10_conditions () =
         "E10 Conditions (3') and (4), before and after the repair pass (paper invariants, measured)"
       [ "family"; "r"; "edges"; "(3') raw"; "(3') repaired"; "dil raw"; "dil repaired"; "(4) violations" ]
   in
-  List.iter
-    (fun name ->
-      List.iter
-        (fun r ->
-          let tree = tree_of name (Theorem1.optimal_size r) in
-          let res = Theorem1.embed tree in
-          let c = Conditions.check_theorem1 res in
-          let repaired, rep = Repair.improve_theorem1 res in
-          let c' = Conditions.check_theorem1 repaired in
-          Tab.add_row t
-            [
-              name;
-              string_of_int r;
-              string_of_int c.Conditions.edges;
-              string_of_int c.Conditions.cond3_violations;
-              string_of_int c'.Conditions.cond3_violations;
-              string_of_int rep.Repair.dilation_before;
-              string_of_int rep.Repair.dilation_after;
-              string_of_int c.Conditions.cond4_violations;
-            ])
-        [ 3; 5; 7; 9 ])
-    families;
+  (* same fan-out as E6: every (family, r) cell is its own job *)
+  let cells = List.concat_map (fun name -> List.map (fun r -> (name, r)) [ 3; 5; 7; 9 ]) families in
+  let rows =
+    Parallel.map
+      (fun (name, r) ->
+        let tree = tree_of name (Theorem1.optimal_size r) in
+        let res = Theorem1.embed tree in
+        let c = Conditions.check_theorem1 res in
+        let repaired, rep = Repair.improve_theorem1 res in
+        let c' = Conditions.check_theorem1 repaired in
+        [
+          name;
+          string_of_int r;
+          string_of_int c.Conditions.edges;
+          string_of_int c.Conditions.cond3_violations;
+          string_of_int c'.Conditions.cond3_violations;
+          string_of_int rep.Repair.dilation_before;
+          string_of_int rep.Repair.dilation_after;
+          string_of_int c.Conditions.cond4_violations;
+        ])
+      cells
+  in
+  List.iter (Tab.add_row t) rows;
   t
 
 let e12_ablation () =
@@ -988,6 +1023,47 @@ let d2_sim_throughput () =
     [ 5; 7; 9; 10 ];
   t
 
+let d3_parallel_scaling () =
+  let t =
+    Tab.create
+      ~title:
+        "D3  Parallel embedding construction over a domains axis (placements bit-identical at every budget)"
+      [ "r"; "n"; "jobs"; "gen s"; "embed s"; "knodes/s"; "dilation"; "fallbacks" ]
+  in
+  let saved = Parallel.domain_budget () in
+  Fun.protect ~finally:(fun () -> Parallel.set_domain_budget saved) @@ fun () ->
+  List.iter
+    (fun (r, jobs_list) ->
+      let n = Theorem1.optimal_size r in
+      (* the new divide-and-conquer arena generator: also parallel, also
+         budget-independent *)
+      Parallel.set_domain_budget (List.fold_left max 1 jobs_list);
+      let t0 = Unix.gettimeofday () in
+      let tree = Gen.random_split (Rng.make ~seed:(Hashtbl.hash ("d3", r))) n in
+      let gen_s = Unix.gettimeofday () -. t0 in
+      List.iter
+        (fun jobs ->
+          Parallel.set_domain_budget jobs;
+          let t0 = Unix.gettimeofday () in
+          let res = Theorem1.embed ~par:(jobs > 1) tree in
+          let dt = Unix.gettimeofday () -. t0 in
+          let d = Embedding.dilation ~dist:Xtree.analytic_distance res.Theorem1.embedding in
+          let cell v = if !live_timings then Printf.sprintf "%.2f" v else "-" in
+          Tab.add_row t
+            [
+              string_of_int r;
+              string_of_int n;
+              string_of_int jobs;
+              cell gen_s;
+              cell dt;
+              (if !live_timings then Printf.sprintf "%.0f" (float_of_int n /. dt /. 1e3) else "-");
+              string_of_int d;
+              string_of_int res.Theorem1.fallbacks;
+            ])
+        jobs_list)
+    [ (10, [ 1; 2; 4 ]); (12, [ 1; 2; 4 ]); (14, [ 4 ]) ];
+  t
+
 (* ------------------------------------------------------------------ *)
 (* Job registry: every table as an independent, order-free job. [smoke]
    marks the cheap ones the @bench-smoke alias runs in a few seconds. *)
@@ -1026,29 +1102,29 @@ let jobs =
     { name = "E19"; smoke = false; table = e19_weighted };
     { name = "D1"; smoke = false; table = d1_dedup };
     { name = "D2"; smoke = false; table = d2_sim_throughput };
+    { name = "D3"; smoke = false; table = d3_parallel_scaling };
   ]
 
 type timing = { job : string; seconds : float }
 
-(* Run the selected jobs through the Parallel pool (sequentially when the
-   domain budget is 1) and print the rendered tables in registry order.
-   Inner parallelism (Theorem1 sweeps, E14's own Parallel.map) detects it
-   is inside a pool worker and runs inline, so job-level parallelism
-   cannot change any table: the output is byte-identical for every
-   [--jobs] value. Returns per-job wall-clock timings in the same order. *)
+(* Run the selected jobs one after another — the parallelism lives
+   {e inside} each job (Theorem1 sweeps, the lemma-trial and cell
+   fan-outs above), where it speeds the table up instead of overlapping
+   unrelated jobs' wall clocks. A job's recorded time is therefore the
+   real cost of producing that table at the current domain budget, and
+   every table is deterministic for every [--jobs] value, so the printed
+   output stays byte-identical. Returns per-job timings in registry
+   order. *)
 let run_jobs ?(smoke = false) () =
   let selected = if smoke then List.filter (fun j -> j.smoke) jobs else jobs in
-  let timed j =
-    let t0 = Unix.gettimeofday () in
-    let out = render (j.table ()) in
-    ({ job = j.name; seconds = Unix.gettimeofday () -. t0 }, out)
-  in
-  let results = Parallel.map timed selected in
-  List.iter
-    (fun (_, out) ->
+  List.map
+    (fun j ->
+      let t0 = Unix.gettimeofday () in
+      let out = render (j.table ()) in
+      let timing = { job = j.name; seconds = Unix.gettimeofday () -. t0 } in
       print_string out;
-      print_newline ())
-    results;
-  List.map fst results
+      print_newline ();
+      timing)
+    selected
 
 let run_all () = ignore (run_jobs ())

@@ -26,11 +26,14 @@ module Builder = struct
       has_root = false;
     }
 
-  let grow b =
+  (* Grow to [max (2*cap) needed] in one blit, so a reserve for n nodes
+     costs one copy instead of log n doublings. *)
+  let ensure b needed =
     let cap = Array.length b.parent in
-    if b.size >= cap then begin
+    if needed > cap then begin
+      let cap' = max (2 * cap) needed in
       let extend a =
-        let a' = Array.make (2 * cap) (-1) in
+        let a' = Array.make cap' (-1) in
         Array.blit a 0 a' 0 cap;
         a'
       in
@@ -38,6 +41,10 @@ module Builder = struct
       b.left <- extend b.left;
       b.right <- extend b.right
     end
+
+  let grow b = ensure b (b.size + 1)
+
+  let reserve b n = if n > 0 then ensure b (b.size + n)
 
   let fresh b =
     grow b;

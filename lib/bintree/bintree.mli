@@ -28,6 +28,12 @@ module Builder : sig
 
   val size : t -> int
 
+  val reserve : t -> int -> unit
+  (** [reserve b n] ensures capacity for [n] more nodes beyond the current
+      size, growing to [max (2*cap) needed] in a single blit. Million-node
+      fills that know their size up front pay one copy instead of a
+      doubling cascade. *)
+
   val finish : t -> tree
   (** Freezes the builder. Raises [Invalid_argument] on an empty builder. *)
 end

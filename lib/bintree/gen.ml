@@ -2,10 +2,14 @@ open Xt_prelude
 
 let positive n = if n <= 0 then invalid_arg "Gen: n must be positive"
 
+(* Below this size the fork-join overhead of a parallel arena fill
+   outweighs the arithmetic it distributes. *)
+let par_fill_cutoff = 1 lsl 16
+
 let complete n =
   positive n;
   let parent = Array.make n (-1) and left = Array.make n (-1) and right = Array.make n (-1) in
-  for v = 0 to n - 1 do
+  let fill v =
     let l = (2 * v) + 1 and r = (2 * v) + 2 in
     if l < n then begin
       left.(v) <- l;
@@ -15,7 +19,14 @@ let complete n =
       right.(v) <- r;
       parent.(r) <- v
     end
-  done;
+  in
+  (* Each index writes only its own children's cells, so chunks are
+     independent and the filled arrays are identical at every budget. *)
+  if n >= par_fill_cutoff then Parallel.parallel_for n fill
+  else
+    for v = 0 to n - 1 do
+      fill v
+    done;
   Bintree.of_arrays ~root:0 ~parent ~left ~right
 
 let path n =
@@ -226,6 +237,40 @@ let skewed_grow rng ?(bias = 0.8) n =
   let pick rng k = if Rng.float rng 1.0 < bias then k - 1 else Rng.int rng k in
   grow_with pick rng n
 
+(* Divide-and-conquer arena fill. A subtree occupies the contiguous index
+   range [lo, lo+n) with its root at [lo]; the left-subtree size is drawn
+   from a hash of (master seed, lo, n), so every range's shape is a pure
+   function of the master seed and the two halves can be filled by
+   different domains — the tree is bit-identical at every domain budget.
+   Uniform split sizes give the random-BST shape distribution, so the
+   expected depth is O(log n) and the recursion stack stays shallow even
+   at a million nodes. *)
+let random_split rng n =
+  positive n;
+  let master = Rng.int rng 0x3FFFFFFF in
+  let parent = Array.make n (-1) and left = Array.make n (-1) and right = Array.make n (-1) in
+  let rec fill lo n =
+    if n > 0 then begin
+      let k = if n = 1 then 0 else Hashtbl.hash (master, lo, n) mod n in
+      (* left subtree: k nodes at [lo+1, lo+1+k); right: the rest *)
+      if k > 0 then begin
+        left.(lo) <- lo + 1;
+        parent.(lo + 1) <- lo
+      end;
+      if n - 1 - k > 0 then begin
+        let r = lo + 1 + k in
+        right.(lo) <- r;
+        parent.(r) <- lo
+      end;
+      ignore
+        (Parallel.fork_cutoff ~size:n ~cutoff:par_fill_cutoff
+           (fun () -> fill (lo + 1) k)
+           (fun () -> fill (lo + 1 + k) (n - 1 - k)))
+    end
+  in
+  fill 0 n;
+  Bintree.of_arrays ~root:0 ~parent ~left ~right
+
 type family = { name : string; generate : Xt_prelude.Rng.t -> int -> Bintree.t }
 
 let families =
@@ -240,6 +285,7 @@ let families =
     { name = "uniform"; generate = uniform };
     { name = "random-grow"; generate = random_grow };
     { name = "skewed"; generate = (fun rng n -> skewed_grow rng n) };
+    { name = "random-split"; generate = random_split };
   ]
 
 let family name = List.find (fun f -> f.name = name) families

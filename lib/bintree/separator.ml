@@ -6,68 +6,126 @@ let side_sizes sp =
   (List.length sp.s1 + List.length sp.t1, List.length sp.s2 + List.length sp.t2)
 
 (* Workspace: generation-stamped scratch arrays over the host tree, so that
-   no per-call allocation proportional to the whole tree is needed. *)
+   no per-call allocation proportional to the whole tree is needed. Every
+   transient set (piece membership, DFS visited, exclusion prefix sums,
+   ancestor marks) is an int-stamp array compared against its generation
+   counter, the DFS stack and the preorder are preallocated int arrays —
+   [prepare] (piece loading, the O(n) hot path of both lemmas) allocates
+   nothing at all, so a workspace can serve one domain for the lifetime of
+   the process and be [rebind_ws]-moved across trees. *)
 type ws = {
-  tree : Bintree.t;
-  mark : int array;        (* piece membership stamp *)
-  par : int array;         (* parent within the rooted piece *)
-  size : int array;        (* subtree size within the rooted piece *)
-  exq : int array;         (* stamp for exclusion prefix sums *)
-  exval : int array;       (* total excluded size inside T(v) *)
-  anc : int array;         (* stamp for ancestor marking / misc sets *)
-  mutable gen : int;       (* current piece generation *)
-  mutable exgen : int;     (* current exclusion generation *)
-  mutable ancgen : int;    (* current ancestor-set generation *)
-  mutable order : int list; (* preorder of the loaded piece *)
+  mutable tree : Bintree.t;
+  mutable cap : int;       (* arrays are sized to [cap] >= n(tree) *)
+  mutable mark : int array;    (* piece membership stamp *)
+  mutable par : int array;     (* parent within the rooted piece *)
+  mutable size : int array;    (* subtree size within the rooted piece *)
+  mutable exq : int array;     (* stamp for exclusion prefix sums *)
+  mutable exval : int array;   (* total excluded size inside T(v) *)
+  mutable anc : int array;     (* stamp for ancestor marking / misc sets *)
+  mutable vis : int array;     (* DFS visited stamp *)
+  mutable ord : int array;     (* preorder of the loaded piece *)
+  mutable stack : int array;   (* explicit DFS stack *)
+  mutable ordn : int;          (* number of loaded nodes *)
+  mutable gen : int;           (* current piece generation *)
+  mutable exgen : int;         (* current exclusion generation *)
+  mutable ancgen : int;        (* current ancestor-set generation *)
+  mutable visgen : int;        (* current visited generation *)
 }
 
 let make_ws tree =
   let n = Bintree.n tree in
   {
     tree;
+    cap = n;
     mark = Array.make n 0;
     par = Array.make n (-1);
     size = Array.make n 0;
     exq = Array.make n 0;
     exval = Array.make n 0;
     anc = Array.make n 0;
+    vis = Array.make n 0;
+    ord = Array.make n 0;
+    stack = Array.make n 0;
+    ordn = 0;
     gen = 0;
     exgen = 0;
     ancgen = 0;
-    order = [];
+    visgen = 0;
   }
+
+let rebind_ws ws tree =
+  ws.tree <- tree;
+  let n = Bintree.n tree in
+  if n > ws.cap then begin
+    let cap = max (2 * ws.cap) n in
+    ws.cap <- cap;
+    ws.mark <- Array.make cap 0;
+    ws.par <- Array.make cap (-1);
+    ws.size <- Array.make cap 0;
+    ws.exq <- Array.make cap 0;
+    ws.exval <- Array.make cap 0;
+    ws.anc <- Array.make cap 0;
+    ws.vis <- Array.make cap 0;
+    ws.ord <- Array.make cap 0;
+    ws.stack <- Array.make cap 0;
+    (* fresh zeroed stamps must not collide with current generations *)
+    ws.gen <- ws.gen + 1;
+    ws.exgen <- ws.exgen + 1;
+    ws.ancgen <- ws.ancgen + 1;
+    ws.visgen <- ws.visgen + 1
+  end;
+  ws.ordn <- 0
 
 let member ws v = ws.mark.(v) = ws.gen
 
 (* Root the piece at [r1]: set membership stamps, [par] orientation and
-   subtree [size]s. Iterative DFS — pieces can be path-shaped. *)
+   subtree [size]s. Iterative DFS on the preallocated stack — pieces can
+   be path-shaped. Allocation-free. *)
 let load ws nodes r1 =
   ws.gen <- ws.gen + 1;
   List.iter (fun v -> ws.mark.(v) <- ws.gen) nodes;
   if not (member ws r1) then invalid_arg "Separator: designated node not in piece";
-  let stack = Stack.create () in
-  let order = ref [] in
+  ws.visgen <- ws.visgen + 1;
   ws.par.(r1) <- -1;
-  Stack.push r1 stack;
-  let visited = Hashtbl.create 64 in
-  Hashtbl.replace visited r1 ();
-  while not (Stack.is_empty stack) do
-    let v = Stack.pop stack in
-    order := v :: !order;
-    Bintree.iter_neighbours ws.tree v (fun w ->
-        if member ws w && not (Hashtbl.mem visited w) then begin
-          Hashtbl.replace visited w ();
-          ws.par.(w) <- v;
-          Stack.push w stack
-        end)
+  ws.vis.(r1) <- ws.visgen;
+  ws.stack.(0) <- r1;
+  let sp = ref 1 in
+  ws.ordn <- 0;
+  (* one closure for the whole walk — a per-node [iter_neighbours] thunk
+     would put ~6 words/node on the minor heap *)
+  let push v w =
+    if member ws w && ws.vis.(w) <> ws.visgen then begin
+      ws.vis.(w) <- ws.visgen;
+      ws.par.(w) <- v;
+      ws.stack.(!sp) <- w;
+      incr sp
+    end
+  in
+  while !sp > 0 do
+    decr sp;
+    let v = ws.stack.(!sp) in
+    ws.ord.(ws.ordn) <- v;
+    ws.ordn <- ws.ordn + 1;
+    (* same neighbour order as [Bintree.iter_neighbours]: parent, left,
+       right — the preorder, and so every placement, depends on it *)
+    let p = Bintree.parent_id ws.tree v in
+    if p >= 0 then push v p;
+    let l = Bintree.left_id ws.tree v in
+    if l >= 0 then push v l;
+    let r = Bintree.right_id ws.tree v in
+    if r >= 0 then push v r
   done;
-  (* order is reverse preorder; compute sizes bottom-up directly on it *)
-  List.iter (fun v -> ws.size.(v) <- 1) !order;
-  List.iter
-    (fun v -> if v <> r1 then ws.size.(ws.par.(v)) <- ws.size.(ws.par.(v)) + ws.size.(v))
-    !order;
-  ws.order <- List.rev !order;
-  List.length !order
+  (* sizes bottom-up: walk the preorder backwards *)
+  for k = 0 to ws.ordn - 1 do
+    ws.size.(ws.ord.(k)) <- 1
+  done;
+  for k = ws.ordn - 1 downto 0 do
+    let v = ws.ord.(k) in
+    if v <> r1 then ws.size.(ws.par.(v)) <- ws.size.(ws.par.(v)) + ws.size.(v)
+  done;
+  ws.ordn
+
+let prepare ws piece = load ws piece.nodes piece.r1
 
 let iter_children ws v f =
   Bintree.iter_neighbours ws.tree v (fun w -> if member ws w && ws.par.(w) = v then f w)
@@ -113,12 +171,20 @@ let find1 ws start ~target =
    excluded subtree roots have effective size 0 and are skipped whole. *)
 let subtree_nodes ws u =
   let acc = ref [] in
-  let stack = Stack.create () in
-  if eff ws u > 0 then Stack.push u stack;
-  while not (Stack.is_empty stack) do
-    let v = Stack.pop stack in
+  let sp = ref 0 in
+  if eff ws u > 0 then begin
+    ws.stack.(0) <- u;
+    sp := 1
+  end;
+  while !sp > 0 do
+    decr sp;
+    let v = ws.stack.(!sp) in
     acc := v :: !acc;
-    iter_children ws v (fun c -> if eff ws c > 0 then Stack.push c stack)
+    iter_children ws v (fun c ->
+        if eff ws c > 0 then begin
+          ws.stack.(!sp) <- c;
+          incr sp
+        end)
   done;
   !acc
 
@@ -340,22 +406,25 @@ let components ws ~nodes ~removed =
   ws.gen <- ws.gen + 1;
   List.iter (fun v -> ws.mark.(v) <- ws.gen) nodes;
   List.iter (fun v -> ws.mark.(v) <- ws.gen - 1) removed;
-  let seen = Hashtbl.create 64 in
+  ws.visgen <- ws.visgen + 1;
+  let seen v = ws.vis.(v) = ws.visgen in
   let comps = ref [] in
   List.iter
     (fun v ->
-      if member ws v && not (Hashtbl.mem seen v) then begin
+      if member ws v && not (seen v) then begin
         let comp = ref [] in
-        let stack = Stack.create () in
-        Stack.push v stack;
-        Hashtbl.replace seen v ();
-        while not (Stack.is_empty stack) do
-          let u = Stack.pop stack in
+        let sp = ref 1 in
+        ws.stack.(0) <- v;
+        ws.vis.(v) <- ws.visgen;
+        while !sp > 0 do
+          decr sp;
+          let u = ws.stack.(!sp) in
           comp := u :: !comp;
           Bintree.iter_neighbours ws.tree u (fun w ->
-              if member ws w && not (Hashtbl.mem seen w) then begin
-                Hashtbl.replace seen w ();
-                Stack.push w stack
+              if member ws w && not (seen w) then begin
+                ws.vis.(w) <- ws.visgen;
+                ws.stack.(!sp) <- w;
+                incr sp
               end)
         done;
         comps := !comp :: !comps
@@ -365,36 +434,64 @@ let components ws ~nodes ~removed =
 
 let verify_split ws piece sp =
   let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
-  let all = sp.s1 @ sp.t1 @ sp.s2 @ sp.t2 in
-  let sorted xs = List.sort compare xs in
-  if sorted all <> sorted piece.nodes then fail "split is not a partition of the piece"
+  (* partition: every split node is a distinct piece node, and the counts
+     match — multiset equality without sorting *)
+  ws.exgen <- ws.exgen + 1;
+  let piece_n = ref 0 in
+  List.iter
+    (fun v ->
+      ws.exq.(v) <- ws.exgen;
+      ws.exval.(v) <- 0;
+      incr piece_n)
+    piece.nodes;
+  let seen_n = ref 0 and dup = ref false in
+  let scan = List.iter (fun v ->
+      if v >= 0 && v < ws.cap && ws.exq.(v) = ws.exgen && ws.exval.(v) = 0 then begin
+        ws.exval.(v) <- 1;
+        incr seen_n
+      end
+      else dup := true)
+  in
+  scan sp.s1;
+  scan sp.t1;
+  scan sp.s2;
+  scan sp.t2;
+  if !dup || !seen_n <> !piece_n then fail "split is not a partition of the piece"
   else begin
     let designated = piece.r1 :: Option.to_list piece.r2 in
     let laid = sp.s1 @ sp.s2 in
     if not (List.for_all (fun r -> List.mem r laid) designated) then
       fail "designated node not laid out"
     else begin
-      (* side and laid-set lookup *)
-      let side = Hashtbl.create 64 in
-      List.iter (fun v -> Hashtbl.replace side v (1, false)) sp.t1;
-      List.iter (fun v -> Hashtbl.replace side v (1, true)) sp.s1;
-      List.iter (fun v -> Hashtbl.replace side v (2, false)) sp.t2;
-      List.iter (fun v -> Hashtbl.replace side v (2, true)) sp.s2;
+      (* side and laid-set lookup, stamped into exq/exval: 1-4 encode
+         (side, laid) as t1 s1 t2 s2 *)
+      ws.exgen <- ws.exgen + 1;
+      let put code = List.iter (fun v ->
+          ws.exq.(v) <- ws.exgen;
+          ws.exval.(v) <- code)
+      in
+      put 1 sp.t1;
+      put 2 sp.s1;
+      put 3 sp.t2;
+      put 4 sp.s2;
+      let side_of v = if ws.exval.(v) <= 2 then 1 else 2 in
+      let laid_of v = ws.exval.(v) land 1 = 0 in
       let bad = ref None in
       List.iter
         (fun v ->
-          let sv, lv = Hashtbl.find side v in
+          let sv = side_of v and lv = laid_of v in
           Bintree.iter_neighbours ws.tree v (fun w ->
-              match Hashtbl.find_opt side w with
-              | None -> () (* edge leaving the piece *)
-              | Some (sw, lw) ->
-                  if sv <> sw && not (lv && lw) then
-                    bad := Some (Printf.sprintf "cut edge %d-%d not between s1 and s2" v w)))
+              if ws.exq.(w) = ws.exgen then begin
+                let sw = side_of w and lw = laid_of w in
+                if sv <> sw && not (lv && lw) then
+                  bad := Some (Printf.sprintf "cut edge %d-%d not between s1 and s2" v w)
+              end))
         piece.nodes;
       match !bad with
       | Some msg -> Error msg
       | None ->
-          (* collinearity of each side *)
+          (* collinearity of each side; [components] only touches the
+             mark/vis stamps, so the side encoding above survives it *)
           let collinear t_side s_side =
             let comps = components ws ~nodes:(t_side @ s_side) ~removed:s_side in
             List.for_all

@@ -41,9 +41,26 @@ val side_sizes : split -> int * int
 
 type ws
 (** A reusable workspace holding scratch arrays sized to one tree. Not
-    thread-safe; create one per embedding run. *)
+    thread-safe; each domain owns its own (see [Xt_prelude.Parallel]'s
+    per-domain slots) and reuses it across calls — all transient sets are
+    generation-stamped flat arrays, so reuse costs nothing and the hot
+    path allocates no scratch at all. *)
 
 val make_ws : Bintree.t -> ws
+
+val rebind_ws : ws -> Bintree.t -> unit
+(** Point an existing workspace at [tree], growing its arrays to
+    [max (2*cap) n] when the tree is larger than anything seen before.
+    Stamp generations survive the move, so no clearing pass is needed;
+    a long-lived per-domain workspace amortises its arrays across every
+    tree it serves. *)
+
+val prepare : ws -> piece -> int
+(** Load a piece into the workspace (membership, orientation, subtree
+    sizes) and return its node count. Called internally by both lemmas;
+    exposed because it is their O(n) hot path and is guaranteed
+    allocation-free, which the test suite pins with a [Gc.minor_words]
+    guard. *)
 
 val lemma1 : ws -> piece -> target:int -> split
 (** Lemma 1 split with side 2 aiming at [target] nodes. Raises

@@ -197,27 +197,25 @@ let split_confined st own ~round:i ~alpha =
   && st.State.occ.(c1) + s + 4 <= st.State.capacity
   && List.for_all (piece_confined st own alpha) pieces
 
-(* Separator workspaces for forked views, one per concurrent chunk,
-   allocated on first use and reused for every later batch. *)
-type ws_pool = { mutable slots : Separator.ws array }
+(* Separator workspaces for forked views: one per pool domain, owned for
+   the life of the process and rebound (grow-to-fit, no clearing pass) to
+   whatever tree the current batch works on. A domain executes one chunk
+   at a time, so the workspace is never shared — even when batches of
+   distinct concurrent embeds interleave on the same domain. *)
+let sep_slots : Separator.ws Parallel.slots = Parallel.make_slots ()
 
-let ws_slot pool tree k =
-  let len = Array.length pool.slots in
-  if k >= len then
-    pool.slots <-
-      Array.init (k + 1) (fun i -> if i < len then pool.slots.(i) else Separator.make_ws tree);
-  pool.slots.(k)
+let domain_ws tree =
+  let ws = Parallel.slot sep_slots ~default:(fun () -> Separator.make_ws tree) in
+  Separator.rebind_ws ws tree;
+  ws
 
 let min_parallel_level = 8 (* levels narrower than this aren't worth analysing *)
 let min_parallel_run = 2
 
-let sweep st pool ~par ~level:j ~confined_of ~op verts =
+let sweep st ~par ~level:j ~confined_of ~op verts =
   let nv = Array.length verts in
-  if
-    (not par) || nv < min_parallel_level
-    || Parallel.domain_budget () <= 1
-    || Parallel.in_parallel_region ()
-  then Array.iter (op st) verts
+  if (not par) || nv < min_parallel_level || Parallel.domain_budget () <= 1 then
+    Array.iter (op st) verts
   else begin
     let own = owner_map st ~level:j in
     let confined = Array.map (confined_of own) verts in
@@ -243,7 +241,7 @@ let sweep st pool ~par ~level:j ~confined_of ~op verts =
       let forks = Array.make nchunks None in
       Parallel.parallel_for ~chunk:1 nchunks (fun c ->
           let fst_ =
-            State.fork st ~ws:(ws_slot pool st.State.tree c) ~pid_base:(st.State.next_pid + c)
+            State.fork st ~ws:(domain_ws st.State.tree) ~pid_base:(st.State.next_pid + c)
               ~pid_stride:nchunks ~weight_barrier:base
           in
           forks.(c) <- Some fst_;
@@ -300,7 +298,6 @@ let embed_uncached ?(capacity = 16) ?height ?(record_trace = false) ?(options = 
     | Some b -> b
     | None -> Parallel.domain_budget () > 1 && not (Parallel.in_parallel_region ())
   in
-  let pool = { slots = [||] } in
   let st = State.create ~tree ~height ~capacity in
   (* Round 0: the initial subtree D0 at the root. *)
   let d0 = bfs_prefix tree (min capacity n) in
@@ -316,7 +313,7 @@ let embed_uncached ?(capacity = 16) ?height ?(record_trace = false) ?(options = 
         if options.Options.adjust then
           for j = 0 to i - 2 do
             Obs.span ~arg:j "theorem1.adjust-sweep" @@ fun () ->
-            sweep st pool ~par ~level:j
+            sweep st ~par ~level:j
               ~confined_of:(fun own a -> adjust_confined st own ~round:i ~a)
               ~op:(fun stv a -> Adjust.run stv ~round:i ~a)
               (Array.of_list (Xtree.vertices_at_level st.State.xt j))
@@ -328,7 +325,7 @@ let embed_uncached ?(capacity = 16) ?height ?(record_trace = false) ?(options = 
         let outer_snap = Array.map (State.weight_of st) level_i in
         let outer_weight v = outer_snap.(Xtree.index v) in
         (Obs.span ~arg:(i - 1) "theorem1.split-sweep" @@ fun () ->
-         sweep st pool ~par ~level:(i - 1)
+         sweep st ~par ~level:(i - 1)
            ~confined_of:(fun own alpha -> split_confined st own ~round:i ~alpha)
            ~op:(fun stv alpha -> Split.run ~options ~outer_weight stv ~round:i ~alpha)
            (Array.of_list (Xtree.vertices_at_level st.State.xt (i - 1))));

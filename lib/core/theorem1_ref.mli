@@ -1,0 +1,22 @@
+(** Frozen sequential reference for Theorem 1 (ISSUE 6), analogous to
+    [Xt_netsim.Sim_ref]: a verbatim copy of the pre-parallelisation
+    pipeline (hash-table separator workspace, sequential ADJUST/SPLIT
+    sweeps). The production [Theorem1] — flat workspaces, domain-parallel
+    sweeps — must produce bit-identical placements; the equivalence suite
+    in [test_theorem1_ref.ml] checks exactly that. Not reachable from any
+    production path, deliberately unoptimised: do not modify. *)
+
+type result = {
+  place : int array;  (** guest node -> host vertex *)
+  height : int;
+  capacity : int;
+  fallbacks : int;
+  wide_pieces : int;
+}
+
+val optimal_size : ?capacity:int -> int -> int
+val height_for : ?capacity:int -> int -> int
+
+val embed : ?capacity:int -> ?height:int -> ?options:Options.t -> Xt_bintree.Bintree.t -> result
+(** Sequential Theorem 1 embedding, exactly as shipped before the
+    parallel construction landed. *)

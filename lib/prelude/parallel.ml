@@ -3,20 +3,30 @@
    One pool per process, created lazily at the first parallel call and
    kept alive until exit (no Domain.spawn per call). The submitting
    domain participates in every batch, so a pool of [d] budgeted domains
-   runs batches on [d-1] workers plus the caller. Nested calls (from
-   inside a batch body) run sequentially inline, which makes nesting
-   deadlock-free and keeps per-item execution single-domain. *)
+   runs batches on [d-1] workers plus the caller.
+
+   Batches live in a FIFO queue, so a call made from inside a batch body
+   (nested parallelism) dispatches to the pool like any other instead of
+   running inline. Deadlock-freedom: a submitter first claims every
+   remaining chunk of its own batch itself, so when it blocks, each
+   outstanding chunk is held by a domain actively executing it; a blocked
+   domain always waits on a batch nested strictly deeper than the chunk
+   it holds, so wait chains strictly increase nesting depth, are bounded
+   by the number of domains, and end at a domain making progress. *)
 
 open Xt_obs
 
 (* Telemetry. [items]/[batches]/[chunks] count scheduled work (items are
    counted on the sequential fallback too, so their total is independent
    of the domain budget); [queue_wait_ns] is the time a pool worker spent
-   blocked between batches. All of it is off unless Obs metrics are
-   enabled. *)
+   blocked between batches; [forks_taken]/[forks_sequentialized] count
+   {!fork_cutoff} decisions (where the cutoff bites). All of it is off
+   unless Obs metrics are enabled. *)
 let c_items = Obs.counter "parallel.items"
 let c_batches = Obs.counter "parallel.batches"
 let c_chunks = Obs.counter "parallel.chunks"
+let c_forks_taken = Obs.counter "parallel.forks_taken"
+let c_forks_seq = Obs.counter "parallel.forks_sequentialized"
 let h_queue_wait = Obs.histogram "parallel.queue_wait_ns"
 
 let recommended_domains () =
@@ -39,10 +49,29 @@ let domain_budget () =
 let set_domain_budget d = override := Some (max 1 d)
 
 (* True while the current domain is executing a batch body (worker or
-   participating caller): parallel calls made from here run inline. *)
+   participating caller). Nested calls still dispatch to the pool; this
+   flag only informs callers that want a sequential default inside an
+   already-parallel region (e.g. [Theorem1]'s sweep heuristic). *)
 let busy_key = Domain.DLS.new_key (fun () -> false)
 
 let in_parallel_region () = Domain.DLS.get busy_key
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain slots                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type 'a slots = 'a option ref Domain.DLS.key
+
+let make_slots () : 'a slots = Domain.DLS.new_key (fun () -> ref None)
+
+let slot (s : 'a slots) ~default =
+  let r = Domain.DLS.get s in
+  match !r with
+  | Some v -> v
+  | None ->
+      let v = default () in
+      r := Some v;
+      v
 
 (* ------------------------------------------------------------------ *)
 (* Batches                                                             *)
@@ -93,6 +122,9 @@ let run_batch b =
     end
   done
 
+let exhausted b = Atomic.get b.next >= b.chunks
+let complete b = Atomic.get b.completed >= b.chunks
+
 (* ------------------------------------------------------------------ *)
 (* The pool                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -101,40 +133,45 @@ type pool = {
   m : Mutex.t;
   work_cv : Condition.t;
   done_cv : Condition.t;
-  mutable current : batch option;
-  mutable gen : int;
+  mutable queue : batch list;   (* FIFO of batches with work left *)
   mutable shutdown : bool;
   mutable workers : unit Domain.t array;
 }
 
+(* Drop batches with no unclaimed chunks; serve the front of the rest.
+   Called with [pool.m] held. *)
+let pick_work pool =
+  pool.queue <- List.filter (fun b -> not (exhausted b)) pool.queue;
+  match pool.queue with b :: _ -> Some b | [] -> None
+
 let worker_loop pool =
   Domain.DLS.set busy_key true;
-  let last_gen = ref 0 in
   let running = ref true in
   while !running do
     let wait_from = if Obs.metrics_enabled () then Obs.now_ns () else 0 in
     Mutex.lock pool.m;
-    while (not pool.shutdown) && (pool.gen <= !last_gen || pool.current = None) do
-      Condition.wait pool.work_cv pool.m
+    let job = ref (pick_work pool) in
+    while !job = None && not pool.shutdown do
+      Condition.wait pool.work_cv pool.m;
+      job := pick_work pool
     done;
-    if pool.shutdown then begin
-      Mutex.unlock pool.m;
-      running := false
-    end
-    else begin
-      let b = Option.get pool.current in
-      last_gen := pool.gen;
-      Mutex.unlock pool.m;
-      if wait_from <> 0 then Obs.observe h_queue_wait (Obs.now_ns () - wait_from);
-      Obs.span "parallel.batch" (fun () -> run_batch b);
-      if Atomic.get b.completed >= b.chunks then begin
-        Mutex.lock pool.m;
-        Condition.broadcast pool.done_cv;
-        Mutex.unlock pool.m
-      end
-    end
+    Mutex.unlock pool.m;
+    match !job with
+    | None -> running := false
+    | Some b ->
+        if wait_from <> 0 then Obs.observe h_queue_wait (Obs.now_ns () - wait_from);
+        Obs.span "parallel.batch" (fun () -> run_batch b);
+        if complete b then begin
+          Mutex.lock pool.m;
+          Condition.broadcast pool.done_cv;
+          Mutex.unlock pool.m
+        end
   done
 
+(* The pool is sized once, at first use: enough workers for the budget in
+   force, but never fewer than three — so a later, larger [--jobs] (or a
+   test raising the budget after a sequential phase) still finds real
+   lanes. Oversubscription is harmless: idle workers sleep on [work_cv]. *)
 let the_pool =
   lazy
     (let pool =
@@ -142,13 +179,12 @@ let the_pool =
          m = Mutex.create ();
          work_cv = Condition.create ();
          done_cv = Condition.create ();
-         current = None;
-         gen = 0;
+         queue = [];
          shutdown = false;
          workers = [||];
        }
      in
-     let workers = max 0 (domain_budget () - 1) in
+     let workers = max 3 (domain_budget () - 1) in
      pool.workers <- Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop pool));
      at_exit (fun () ->
          Mutex.lock pool.m;
@@ -172,7 +208,7 @@ let parallel_for ?domains ?chunk n body =
   Obs.add c_items n;
   let budget = match domains with Some d -> max 1 (min d (domain_budget ())) | None -> domain_budget () in
   if n = 0 then ()
-  else if budget <= 1 || n = 1 || in_parallel_region () then sequential_for n body
+  else if budget <= 1 || n = 1 then sequential_for n body
   else begin
     let pool = Lazy.force the_pool in
     if Array.length pool.workers = 0 then sequential_for n body
@@ -198,22 +234,47 @@ let parallel_for ?domains ?chunk n body =
       Obs.incr c_batches;
       Obs.span ~arg:n "parallel.for" @@ fun () ->
       Mutex.lock pool.m;
-      pool.current <- Some b;
-      pool.gen <- pool.gen + 1;
+      pool.queue <- pool.queue @ [ b ];
       Condition.broadcast pool.work_cv;
       Mutex.unlock pool.m;
+      (* Participate: claim our own batch's chunks to exhaustion before
+         blocking, preserving the deadlock-freedom argument above. *)
+      let was_busy = Domain.DLS.get busy_key in
       Domain.DLS.set busy_key true;
       Fun.protect
-        ~finally:(fun () -> Domain.DLS.set busy_key false)
+        ~finally:(fun () -> Domain.DLS.set busy_key was_busy)
         (fun () -> Obs.span "parallel.batch" (fun () -> run_batch b));
       Mutex.lock pool.m;
-      while Atomic.get b.completed < b.chunks do
+      pool.queue <- List.filter (fun b' -> b' != b) pool.queue;
+      while not (complete b) do
         Condition.wait pool.done_cv pool.m
       done;
-      if pool.current == Some b then pool.current <- None;
       Mutex.unlock pool.m;
       match Atomic.get b.failed with Some (_, e) -> raise e | None -> ()
     end
+  end
+
+(* Binary fork over the same machinery: index 0 runs [fa], index 1 [fb].
+   The failure protocol guarantees that if both raise, [fa]'s exception
+   wins — exactly the sequential order. *)
+let fork_join fa fb =
+  let ra = ref None and rb = ref None in
+  parallel_for ~chunk:1 2 (fun i ->
+      if i = 0 then ra := Some (fa ()) else rb := Some (fb ()));
+  match (!ra, !rb) with
+  | Some a, Some b -> (a, b)
+  | _ -> failwith "Parallel.fork_join: missing result"
+
+let fork_cutoff ~size ~cutoff fa fb =
+  if size < cutoff || domain_budget () <= 1 then begin
+    Obs.incr c_forks_seq;
+    let a = fa () in
+    let b = fb () in
+    (a, b)
+  end
+  else begin
+    Obs.incr c_forks_taken;
+    fork_join fa fb
   end
 
 let map_array ?domains ?chunk f xs =

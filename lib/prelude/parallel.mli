@@ -7,21 +7,27 @@
     workers plus the caller.
 
     Work items must be pure or own their mutable state — nothing here
-    synchronises shared data beyond the work queue itself. Calls made
-    from {e inside} a parallel batch (nested parallelism) run
-    sequentially inline, which makes nesting deadlock-free.
+    synchronises shared data beyond the work queue itself. Batches live
+    in a FIFO queue, so calls made from {e inside} a batch body (nested
+    parallelism) dispatch to the pool like any other call. Nesting is
+    deadlock-free: a submitter claims all remaining chunks of its own
+    batch before blocking, so blocked domains only ever wait on chunks
+    another domain is actively executing, and wait chains strictly
+    increase nesting depth.
 
     The domain budget resolves, in order: {!set_domain_budget} override,
     the [XT_DOMAINS] environment variable, {!recommended_domains}.
     [XT_DOMAINS=1] forces every primitive down its sequential path.
 
     When [Xt_obs.Obs] metrics are enabled the runtime records the
-    [parallel.items] / [parallel.batches] / [parallel.chunks] counters
-    and the [parallel.queue_wait_ns] worker-wait histogram; with tracing
-    enabled each pool dispatch emits a [parallel.for] span on the caller
-    track and one [parallel.batch] span per participating domain.
-    [parallel.items] is counted on the sequential fallback too, so its
-    total does not depend on the domain budget. *)
+    [parallel.items] / [parallel.batches] / [parallel.chunks] counters,
+    the {!fork_cutoff} decision counters [parallel.forks_taken] /
+    [parallel.forks_sequentialized], and the [parallel.queue_wait_ns]
+    worker-wait histogram; with tracing enabled each pool dispatch emits
+    a [parallel.for] span on the caller track and one [parallel.batch]
+    span per participating domain. [parallel.items] is counted on the
+    sequential fallback too, so its total does not depend on the domain
+    budget. *)
 
 val recommended_domains : unit -> int
 (** [max 1 (cores - 1)], capped at 8. *)
@@ -31,12 +37,14 @@ val domain_budget : unit -> int
 
 val set_domain_budget : int -> unit
 (** Process-wide override (e.g. a [--jobs N] flag). Values [< 1] clamp
-    to 1. Must be called before the first parallel call to affect the
-    pool size; later calls only cap per-call parallelism. *)
+    to 1. The pool is sized at its first use to at least 4 lanes, so
+    raising the budget later still finds real workers; budgets beyond
+    the pool size only cap per-call parallelism. *)
 
 val in_parallel_region : unit -> bool
-(** True while the calling domain is executing a batch body; parallel
-    calls made here run inline. *)
+(** True while the calling domain is executing a batch body. Nested
+    calls still run in parallel; this is a hint for callers that prefer
+    a sequential default inside an already-parallel region. *)
 
 val parallel_for : ?domains:int -> ?chunk:int -> int -> (int -> unit) -> unit
 (** [parallel_for n body] runs [body i] for [i = 0 .. n-1], distributing
@@ -49,6 +57,33 @@ val parallel_for : ?domains:int -> ?chunk:int -> int -> (int -> unit) -> unit
     {e below} it still runs — so the exception propagated after the join
     is deterministically the one sequential execution would raise
     first. *)
+
+val fork_join : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** [fork_join fa fb] evaluates both thunks, possibly on two domains,
+    and returns both results. Follows the {!parallel_for} failure
+    protocol: if both raise, [fa]'s exception is the one propagated. *)
+
+val fork_cutoff : size:int -> cutoff:int -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** {!fork_join} gated by a work estimate: forks when [size >= cutoff]
+    and the domain budget allows, otherwise runs [fa] then [fb] on the
+    calling domain. Each decision bumps [parallel.forks_taken] or
+    [parallel.forks_sequentialized], so traces show where the cutoff
+    bites. *)
+
+type 'a slots
+(** Per-domain storage: one ['a] per domain that asks, created lazily.
+    The canonical use is a scratch workspace (separator arrays, arena
+    builders) allocated once per domain and reused across every batch
+    it serves. Create one [slots] per static use site, at module
+    initialisation — each call to {!make_slots} registers a fresh
+    domain-local key and is never reclaimed. *)
+
+val make_slots : unit -> 'a slots
+
+val slot : 'a slots -> default:(unit -> 'a) -> 'a
+(** The calling domain's value, created with [default] on first use.
+    Distinct domains see distinct values; repeated calls from one
+    domain return the same value. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map with the {!parallel_for} failure

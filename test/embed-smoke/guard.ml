@@ -1,0 +1,20 @@
+(* Allocation guard for the @embed-smoke alias: [Separator.prepare] — the
+   O(n) hot path under every lemma call of the Theorem 1 pipeline — must
+   not allocate on a warm workspace. Prints one parseable line for
+   check.sh; the richer equivalence suite lives in test_theorem1_ref.ml. *)
+
+let () =
+  let open Xt_prelude in
+  let open Xt_bintree in
+  let tree = Gen.uniform (Rng.make ~seed:11) 4093 in
+  let ws = Separator.make_ws tree in
+  let piece = { Separator.nodes = Bintree.preorder tree; r1 = Bintree.root tree; r2 = None } in
+  for _ = 1 to 4 do
+    ignore (Separator.prepare ws piece)
+  done;
+  Gc.minor ();
+  let before = Gc.minor_words () in
+  ignore (Separator.prepare ws piece);
+  let allocated = Gc.minor_words () -. before in
+  Printf.printf "prepare-minor-words = %.0f\n" allocated;
+  print_endline (if allocated < 256. then "guard PASS" else "guard FAIL")

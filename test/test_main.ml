@@ -20,6 +20,7 @@ let () =
       ("baseline", Test_baseline.suite);
       ("netsim", Test_netsim.suite);
       ("netsim-ref", Test_netsim_ref.suite);
+      ("theorem1-ref", Test_theorem1_ref.suite);
       ("obs", Test_obs.suite);
       ("cache", Test_cache.suite);
     ]

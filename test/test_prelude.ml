@@ -210,7 +210,8 @@ let test_parallel_large_map_deterministic () =
   Alcotest.(check (array int)) "10k items" expected (Parallel.map_array ~domains:4 f xs);
   Alcotest.(check (array int)) "repeat run" expected (Parallel.map_array ~domains:4 f xs)
 
-(* Nested parallel calls run inline instead of deadlocking on the pool. *)
+(* Nested parallel calls dispatch to the pool queue like any other
+   batch instead of deadlocking on it. *)
 let test_parallel_nested_no_deadlock () =
   let rows =
     Parallel.map ~domains:4
@@ -249,6 +250,76 @@ let test_parallel_for_covers_all () =
   Parallel.parallel_for ~domains:4 ~chunk:7 n (fun i -> hits.(i) <- hits.(i) + 1);
   checkb "each index exactly once" true (Array.for_all (fun c -> c = 1) hits)
 
+(* [~domains] only caps the process budget, so tests that want real pool
+   traffic raise the budget for their duration. *)
+let with_budget jobs f =
+  let saved = Parallel.domain_budget () in
+  Parallel.set_domain_budget jobs;
+  Fun.protect ~finally:(fun () -> Parallel.set_domain_budget saved) f
+
+let test_fork_join () =
+  with_budget 4 @@ fun () ->
+  let a, b = Parallel.fork_join (fun () -> 21 * 2) (fun () -> "x") in
+  check "first thunk" 42 a;
+  Alcotest.(check string) "second thunk" "x" b;
+  (* both fail: the first thunk's exception wins, as in sequential order *)
+  match Parallel.fork_join (fun () -> failwith "A") (fun () -> failwith "B") with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure m -> Alcotest.(check string) "first exception wins" "A" m
+
+let test_fork_cutoff_counters () =
+  with_budget 4 @@ fun () ->
+  Xt_obs.Obs.enable_metrics ();
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Xt_obs.Obs.drain ());
+      Xt_obs.Obs.disable_metrics ())
+  @@ fun () ->
+  ignore (Xt_obs.Obs.drain ());
+  let r1 = Parallel.fork_cutoff ~size:10 ~cutoff:100 (fun () -> 1) (fun () -> 2) in
+  let r2 = Parallel.fork_cutoff ~size:1000 ~cutoff:100 (fun () -> 3) (fun () -> 4) in
+  Alcotest.(check (pair int int)) "below cutoff" (1, 2) r1;
+  Alcotest.(check (pair int int)) "above cutoff" (3, 4) r2;
+  let d = Xt_obs.Obs.snapshot () in
+  let count n = Option.value ~default:0 (List.assoc_opt n d.Xt_obs.Obs.counters) in
+  check "one fork sequentialized" 1 (count "parallel.forks_sequentialized");
+  check "one fork taken" 1 (count "parallel.forks_taken")
+
+let test_fork_cutoff_sequential_budget () =
+  with_budget 1 @@ fun () ->
+  (* a single-domain budget sequentializes even past the cutoff *)
+  let r = Parallel.fork_cutoff ~size:1_000_000 ~cutoff:1 (fun () -> "a") (fun () -> "b") in
+  Alcotest.(check (pair string string)) "still both results" ("a", "b") r
+
+let test_slots_per_domain () =
+  with_budget 4 @@ fun () ->
+  let slots = Parallel.make_slots () in
+  let mine = Parallel.slot slots ~default:(fun () -> ref 0) in
+  incr mine;
+  checkb "same value on repeat" true (mine == Parallel.slot slots ~default:(fun () -> ref 100));
+  let n = 64 in
+  let seen = Array.make n mine in
+  Parallel.parallel_for ~chunk:1 n (fun i ->
+      let r = Parallel.slot slots ~default:(fun () -> ref 0) in
+      incr r;
+      seen.(i) <- r);
+  (* each item bumped exactly its own domain's ref: summing over the
+     physically distinct refs recovers every increment (+1 for ours) *)
+  let distinct =
+    Array.fold_left (fun acc r -> if List.memq r acc then acc else r :: acc) [ mine ] seen
+  in
+  check "every item counted once" (n + 1) (List.fold_left (fun acc r -> acc + !r) 0 distinct)
+
+(* fork_cutoff inside a parallel_for body: the nested batches queue up
+   behind the outer one and the join still returns the right values. *)
+let test_fork_inside_parallel_region () =
+  with_budget 4 @@ fun () ->
+  let out = Array.make 8 0 in
+  Parallel.parallel_for ~chunk:1 8 (fun i ->
+      let a, b = Parallel.fork_cutoff ~size:10 ~cutoff:1 (fun () -> i) (fun () -> 2 * i) in
+      out.(i) <- a + b);
+  checkb "nested fork results" true (Array.for_all Fun.id (Array.init 8 (fun i -> out.(i) = 3 * i)))
+
 let suite =
   suite
   @ [
@@ -263,6 +334,11 @@ let suite =
       ("parallel first exception", `Quick, test_parallel_first_exception);
       ("parallel map_reduce ordered", `Quick, test_parallel_map_reduce_ordered);
       ("parallel_for covers all", `Quick, test_parallel_for_covers_all);
+      ("fork_join", `Quick, test_fork_join);
+      ("fork_cutoff counters", `Quick, test_fork_cutoff_counters);
+      ("fork_cutoff sequential budget", `Quick, test_fork_cutoff_sequential_budget);
+      ("per-domain slots", `Quick, test_slots_per_domain);
+      ("fork inside parallel region", `Quick, test_fork_inside_parallel_region);
     ]
 
 (* ---------------- CSV ---------------- *)

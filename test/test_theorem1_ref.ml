@@ -1,0 +1,218 @@
+(* Equivalence of the parallel, flat-workspace Theorem 1 core against the
+   frozen sequential reference (ISSUE 6): the production pipeline — flat
+   generation-stamped separator workspaces, domain-parallel ADJUST/SPLIT
+   sweeps, per-domain scratch slots — must produce bit-identical
+   placements. Checked exhaustively over every binary-tree shape up to 14
+   nodes, by qcheck over random family x size x capacity cases swept
+   across domain budgets {1,2,4}, and on deterministic large trees where
+   the parallel sweeps actually engage. Plus the [Gc.minor_words] guard
+   pinning [Separator.prepare] as allocation-free. *)
+
+open Xt_prelude
+open Xt_bintree
+open Xt_core
+open Xt_embedding
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* Capacity 2 for the exhaustive pass: the smallest capacity that keeps
+   the paper's slack assumptions alive (capacity 1 overfills the host on
+   some shapes, in both implementations alike), while forcing far more
+   splitting and fallback traffic per node than the paper's 16. *)
+let exhaustive_capacity = 2
+
+(* Compare every observable of the two cores; [what] is built lazily so
+   the exhaustive pass doesn't pay a format call per shape. *)
+let same_result ?capacity ~what tree =
+  let rf = Theorem1_ref.embed ?capacity tree in
+  let r = Theorem1.embed ?capacity tree in
+  let e = r.Theorem1.embedding in
+  if rf.Theorem1_ref.place <> e.Embedding.place then
+    Alcotest.failf "%s: placements diverge from the reference" (what ());
+  if
+    rf.Theorem1_ref.height <> r.Theorem1.height
+    || rf.Theorem1_ref.capacity <> r.Theorem1.capacity
+    || rf.Theorem1_ref.fallbacks <> r.Theorem1.fallbacks
+    || rf.Theorem1_ref.wide_pieces <> r.Theorem1.wide_pieces
+  then Alcotest.failf "%s: run statistics diverge from the reference" (what ());
+  rf
+
+(* ---------------- exhaustive: every shape up to 14 nodes ------------- *)
+
+(* Enumerate all binary-tree shapes on [n] nodes in a preorder arena:
+   the subtree filling [lo, lo+sz) is rooted at [lo], its left subtree
+   takes the next [k] indices for every [k]. The arrays are reused across
+   shapes — each recursion step rewrites exactly the cells it owns. *)
+let iter_shapes n f =
+  let parent = Array.make n (-1) and left = Array.make n (-1) and right = Array.make n (-1) in
+  let rec fill lo sz cont =
+    if sz = 0 then cont ()
+    else
+      for k = 0 to sz - 1 do
+        if k > 0 then begin
+          left.(lo) <- lo + 1;
+          parent.(lo + 1) <- lo
+        end
+        else left.(lo) <- -1;
+        if sz - 1 - k > 0 then begin
+          right.(lo) <- lo + 1 + k;
+          parent.(lo + 1 + k) <- lo
+        end
+        else right.(lo) <- -1;
+        fill (lo + 1) k (fun () -> fill (lo + 1 + k) (sz - 1 - k) cont)
+      done
+  in
+  fill 0 n (fun () -> f (Bintree.of_arrays ~root:0 ~parent ~left ~right))
+
+let catalan n =
+  let c = Array.make (n + 1) 0 in
+  c.(0) <- 1;
+  for i = 1 to n do
+    for k = 0 to i - 1 do
+      c.(i) <- c.(i) + (c.(k) * c.(i - 1 - k))
+    done
+  done;
+  c.(n)
+
+let exhaustive lo hi () =
+  for n = lo to hi do
+    let count = ref 0 in
+    iter_shapes n (fun t ->
+        incr count;
+        ignore
+          (same_result ~capacity:exhaustive_capacity
+             ~what:(fun () -> Format.asprintf "shape %a" Bintree.pp t)
+             t));
+    check (Printf.sprintf "all %d-node shapes enumerated" n) (catalan n) !count
+  done
+
+(* ---------------- qcheck: random cases across budgets ---------------- *)
+
+let families = [ "complete"; "path"; "caterpillar"; "random-bst"; "uniform"; "skewed"; "random-split" ]
+
+type eq_case = { fname : string; size : int; cap : int; seed : int }
+
+let print_case c = Printf.sprintf "%s(%d) capacity=%d seed=%d" c.fname c.size c.cap c.seed
+
+let case_gen =
+  QCheck2.Gen.(
+    let* fi = int_bound (List.length families - 1) in
+    let* size = map (fun k -> 32 + k) (int_bound 8160) in
+    let* cap = oneofl [ 2; 4; 16 ] in
+    let* seed = int_bound 1_000_000 in
+    return { fname = List.nth families fi; size; cap; seed })
+
+(* Hold the budget at [jobs] for the duration of [f]. The pool is sized
+   for at least 4 lanes at first use, so raising the budget mid-process
+   finds real workers. *)
+let with_budget jobs f =
+  let saved = Parallel.domain_budget () in
+  Parallel.set_domain_budget jobs;
+  Fun.protect ~finally:(fun () -> Parallel.set_domain_budget saved) f
+
+(* At capacity 2 some big shapes legitimately overfill the host (the
+   paper's slack assumes capacity 16); both cores must then raise the
+   same [Invalid_argument] — equivalence extends to the failure mode. *)
+let run_eq_case c =
+  let tree = (Gen.family c.fname).generate (Rng.make ~seed:c.seed) c.size in
+  let outcome f = match f () with r -> Ok r | exception Invalid_argument m -> Error m in
+  let rf = outcome (fun () -> Theorem1_ref.embed ~capacity:c.cap tree) in
+  List.iter
+    (fun jobs ->
+      with_budget jobs @@ fun () ->
+      let r = outcome (fun () -> Theorem1.embed ~capacity:c.cap ~par:true tree) in
+      match (rf, r) with
+      | Ok rf, Ok r ->
+          if rf.Theorem1_ref.place <> r.Theorem1.embedding.Embedding.place then
+            Alcotest.failf "%s at %d jobs: placements diverge" (print_case c) jobs;
+          if rf.Theorem1_ref.fallbacks <> r.Theorem1.fallbacks then
+            Alcotest.failf "%s at %d jobs: fallbacks diverge" (print_case c) jobs
+      | Error m, Error m' ->
+          if m <> m' then
+            Alcotest.failf "%s at %d jobs: failure modes diverge (%s vs %s)" (print_case c) jobs m m'
+      | Ok _, Error m -> Alcotest.failf "%s at %d jobs: only parallel core fails (%s)" (print_case c) jobs m
+      | Error m, Ok _ -> Alcotest.failf "%s at %d jobs: only reference fails (%s)" (print_case c) jobs m)
+    [ 1; 2; 4 ];
+  true
+
+let qcheck_equivalence =
+  QCheck2.Test.make ~count:100 ~name:"theorem1: parallel core == reference at jobs {1,2,4}"
+    ~print:print_case case_gen run_eq_case
+
+(* ---------------- deterministic large trees -------------------------- *)
+
+(* Sizes where the parallel sweeps genuinely engage (levels of >= 8
+   X-tree vertices at the paper's capacity 16). Beyond placements, the
+   derived metrics the paper cares about — dilation and load — are
+   compared through [Embedding] with the memoised distance oracle. *)
+let test_large_budget_sweep () =
+  List.iter
+    (fun (fname, n) ->
+      let tree = (Gen.family fname).generate (Rng.make ~seed:(Hashtbl.hash (fname, n))) n in
+      let rf = Theorem1_ref.embed tree in
+      List.iter
+        (fun jobs ->
+          with_budget jobs @@ fun () ->
+          let what = Printf.sprintf "%s(%d) at %d jobs" fname n jobs in
+          let r = Theorem1.embed ~par:true tree in
+          let e = r.Theorem1.embedding in
+          if rf.Theorem1_ref.place <> e.Embedding.place then
+            Alcotest.failf "%s: placements diverge" what;
+          check (what ^ ": height") rf.Theorem1_ref.height r.Theorem1.height;
+          check (what ^ ": fallbacks") rf.Theorem1_ref.fallbacks r.Theorem1.fallbacks;
+          check (what ^ ": wide pieces") rf.Theorem1_ref.wide_pieces r.Theorem1.wide_pieces;
+          let dist = Theorem1.distance_oracle r in
+          let ef = Embedding.make ~tree ~host:e.Embedding.host ~place:rf.Theorem1_ref.place in
+          check (what ^ ": dilation") (Embedding.dilation ~dist ef) (Embedding.dilation ~dist e);
+          check (what ^ ": load") (Embedding.load ef) (Embedding.load e))
+        [ 1; 2; 4 ])
+    [ ("uniform", 30_000); ("caterpillar", 60_000); ("random-split", 100_000) ]
+
+(* ---------------- separator hot path allocates nothing --------------- *)
+
+let test_prepare_allocation_free () =
+  let tree = Gen.uniform (Rng.make ~seed:5) 4093 in
+  let ws = Separator.make_ws tree in
+  let piece = { Separator.nodes = Bintree.preorder tree; r1 = Bintree.root tree; r2 = None } in
+  (* warm up: first call settles any lazy sizing *)
+  for _ = 1 to 4 do
+    ignore (Separator.prepare ws piece)
+  done;
+  Gc.minor ();
+  let before = Gc.minor_words () in
+  ignore (Separator.prepare ws piece);
+  let allocated = Gc.minor_words () -. before in
+  checkb
+    (Printf.sprintf "prepare allocated %.0f minor words" allocated)
+    true (allocated < 256.)
+
+(* Rebinding a workspace to a bigger tree grows in one step and keeps
+   serving; stamp generations survive the move. *)
+let test_rebind_grows () =
+  let small = Gen.complete 63 in
+  let big = Gen.uniform (Rng.make ~seed:6) 5000 in
+  let ws = Separator.make_ws small in
+  let piece t = { Separator.nodes = Bintree.preorder t; r1 = Bintree.root t; r2 = None } in
+  ignore (Separator.lemma2 ws (piece small) ~target:20);
+  Separator.rebind_ws ws big;
+  let s = Separator.lemma2 ws (piece big) ~target:1700 in
+  (match Separator.verify_split ws (piece big) s with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "split after rebind: %s" msg);
+  (* and back down: rebinding to a smaller tree must also be sound *)
+  Separator.rebind_ws ws small;
+  let s = Separator.lemma1 ws (piece small) ~target:20 in
+  match Separator.verify_split ws (piece small) s with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "split after shrink rebind: %s" msg
+
+let suite =
+  [
+    ("exhaustive shapes <= 11", `Quick, exhaustive 1 11);
+    ("exhaustive shapes 12-14", `Slow, exhaustive 12 14);
+    QCheck_alcotest.to_alcotest ~long:false qcheck_equivalence;
+    ("large trees, budget sweep", `Slow, test_large_budget_sweep);
+    ("separator prepare allocation free", `Quick, test_prepare_allocation_free);
+    ("workspace rebind", `Quick, test_rebind_grows);
+  ]
