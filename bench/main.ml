@@ -15,7 +15,20 @@
      --smoke            only the cheap smoke-marked tables (seconds, not
                         minutes; used by the @bench-smoke dune alias)
      --no-timings       blank live wall-clock cells (E18) so two runs
-                        can be diffed byte-for-byte *)
+                        can be diffed byte-for-byte
+     --trace FILE       record span tracing (with GC sampling) across the
+                        table jobs and write a Chrome trace to FILE
+     --baseline FILE    compare per-stage times against a stored --json
+                        record (e.g. BENCH_1.json) and print a ratio table
+     --check            exit non-zero if any stage regressed past the
+                        threshold vs. --baseline (the perf gate)
+     --check-threshold R  ratio above which a stage counts as regressed
+                        (default 1.5)
+     --check-min-seconds S  ignore stages where both baseline and current
+                        are below S (default 0.05: timer noise, not perf)
+     --history FILE     append one JSON line per invocation (default
+                        BENCH_HISTORY.jsonl)
+     --no-history       skip the history append (hermetic runs) *)
 
 let rec find_value key = function
   | k :: v :: _ when k = key -> Some v
@@ -96,8 +109,9 @@ let write_json file ~jobs_flag ~smoke ~wall ~sim timings =
   Printf.fprintf oc "  \"stages\": [\n";
   List.iteri
     (fun i t ->
-      Printf.fprintf oc "    { \"name\": \"%s\", \"seconds\": %.6f }%s\n"
-        (json_escape t.Tables.job) t.Tables.seconds
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"seconds\": %.6f, \"minor_words\": %d, \"major_words\": %d }%s\n"
+        (json_escape t.Tables.job) t.Tables.seconds t.Tables.minor_words t.Tables.major_words
         (if i = List.length timings - 1 then "" else ","))
     timings;
   Printf.fprintf oc "  ],\n";
@@ -128,6 +142,101 @@ let write_json file ~jobs_flag ~smoke ~wall ~sim timings =
   Printf.fprintf oc "}\n";
   close_out oc
 
+(* ---------------- perf-regression gate ---------------- *)
+
+module J = Xt_obs.Tiny_json
+
+let read_file file =
+  let ic = open_in_bin file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* Stage name -> seconds from a --json record (tolerates records written
+   before the minor/major-words fields existed). *)
+let load_baseline file =
+  match J.parse (read_file file) with
+  | Error msg -> Error msg
+  | Ok doc -> (
+      match Option.bind (J.member "stages" doc) J.to_list with
+      | None -> Error "no stages array"
+      | Some stages ->
+          Ok
+            (List.filter_map
+               (fun st ->
+                 match
+                   ( Option.bind (J.member "name" st) J.to_string,
+                     Option.bind (J.member "seconds" st) J.to_float )
+                 with
+                 | Some name, Some seconds -> Some (name, seconds)
+                 | _ -> None)
+               stages))
+
+(* Print the per-stage ratio table and return the number of stages that
+   regressed past [threshold]. Stages where both sides sit below
+   [min_seconds] never count: at that scale the timer measures noise.
+   Stages absent from the baseline report as "new" and never fail the
+   gate, so adding a table does not require regenerating the baseline. *)
+let check_baseline ~baseline_file ~threshold ~min_seconds timings =
+  match load_baseline baseline_file with
+  | Error msg ->
+      Printf.eprintf "cannot read baseline %s: %s\n" baseline_file msg;
+      exit 2
+  | Ok base ->
+      let t =
+        Xt_prelude.Tab.create
+          ~title:(Printf.sprintf "perf gate vs %s (threshold %.2fx)" baseline_file threshold)
+          [ "stage"; "baseline_s"; "current_s"; "ratio"; "status" ]
+      in
+      let slow = ref 0 in
+      List.iter
+        (fun (tm : Tables.timing) ->
+          match List.assoc_opt tm.Tables.job base with
+          | None ->
+              Xt_prelude.Tab.add_row t
+                [ tm.Tables.job; "-"; Printf.sprintf "%.3f" tm.Tables.seconds; "-"; "new" ]
+          | Some b ->
+              let ratio = if b > 0. then tm.Tables.seconds /. b else infinity in
+              let measurable = b >= min_seconds || tm.Tables.seconds >= min_seconds in
+              let status =
+                if ratio > threshold && measurable then begin
+                  incr slow;
+                  "SLOW"
+                end
+                else "ok"
+              in
+              Xt_prelude.Tab.add_row t
+                [
+                  tm.Tables.job;
+                  Printf.sprintf "%.3f" b;
+                  Printf.sprintf "%.3f" tm.Tables.seconds;
+                  Printf.sprintf "%.2f" ratio;
+                  status;
+                ])
+        timings;
+      Xt_prelude.Tab.print t;
+      if !slow > 0 then
+        Printf.printf "perf gate: FAIL (%d stage(s) beyond %.2fx)\n" !slow threshold
+      else Printf.printf "perf gate: PASS\n";
+      !slow
+
+(* One compact JSON line per invocation, so the perf trajectory survives
+   baseline regeneration. *)
+let append_history file ~jobs_flag ~smoke ~wall timings =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 file in
+  Printf.fprintf oc "{\"utc\":%.0f,\"bench\":\"tables\",\"smoke\":%b,\"jobs\":%d,\"domains\":%d"
+    (Unix.time ()) smoke jobs_flag
+    (Xt_prelude.Parallel.domain_budget ());
+  Printf.fprintf oc ",\"wall_seconds\":%.6f,\"stages\":{" wall;
+  List.iteri
+    (fun i (tm : Tables.timing) ->
+      Printf.fprintf oc "%s\"%s\":%.6f"
+        (if i = 0 then "" else ",")
+        (json_escape tm.Tables.job) tm.Tables.seconds)
+    timings;
+  Printf.fprintf oc "}}\n";
+  close_out oc
+
 let () =
   let args = Array.to_list Sys.argv in
   let tables = not (List.mem "--micro-only" args) in
@@ -151,6 +260,29 @@ let () =
   print_endline "Simulating Binary Trees on X-Trees (Monien, SPAA 1991) - reproduction harness";
   print_endline "==============================================================================";
   print_newline ();
+  let check = List.mem "--check" args in
+  let baseline_file = find_value "--baseline" args in
+  let threshold =
+    match find_value "--check-threshold" args with
+    | None -> 1.5
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some r when r > 0. -> r
+        | _ -> failwith "main: --check-threshold expects a positive number")
+  in
+  let min_seconds =
+    match find_value "--check-min-seconds" args with
+    | None -> 0.05
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some r when r >= 0. -> r
+        | _ -> failwith "main: --check-min-seconds expects a non-negative number")
+  in
+  let history_file =
+    if List.mem "--no-history" args then None
+    else Some (Option.value ~default:"BENCH_HISTORY.jsonl" (find_value "--history" args))
+  in
+  let trace_file = find_value "--trace" args in
   if tables then begin
     let json_file = find_value "--json" args in
     (* Metrics are still off here, so the speedup replays leave no
@@ -159,11 +291,28 @@ let () =
     (* The JSON record carries the work counters, so count while the
        tables run; without --json the harness stays instrumentation-free. *)
     if json_file <> None then Xt_obs.Obs.enable_metrics ();
+    if trace_file <> None then begin
+      Xt_obs.Obs.enable_gc_sampling ();
+      Xt_obs.Obs.enable_tracing ()
+    end;
     let t0 = Unix.gettimeofday () in
     let timings = Tables.run_jobs ~smoke () in
     let wall = Unix.gettimeofday () -. t0 in
-    match json_file with
+    (match trace_file with
+    | Some file ->
+        Xt_obs.Obs.write_trace file;
+        Printf.printf "trace written to %s\n" file
+    | None -> ());
+    (match history_file with
+    | Some file -> append_history file ~jobs_flag ~smoke ~wall timings
+    | None -> ());
+    (match json_file with
     | Some file -> write_json file ~jobs_flag ~smoke ~wall ~sim timings
+    | None -> ());
+    match baseline_file with
+    | Some bfile ->
+        let slow = check_baseline ~baseline_file:bfile ~threshold ~min_seconds timings in
+        if check && slow > 0 then exit 1
     | None -> ()
   end;
   if micro then Micro.run ()

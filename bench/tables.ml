@@ -1105,7 +1105,7 @@ let jobs =
     { name = "D3"; smoke = false; table = d3_parallel_scaling };
   ]
 
-type timing = { job : string; seconds : float }
+type timing = { job : string; seconds : float; minor_words : int; major_words : int }
 
 (* Run the selected jobs one after another — the parallelism lives
    {e inside} each job (Theorem1 sweeps, the lemma-trial and cell
@@ -1113,15 +1113,26 @@ type timing = { job : string; seconds : float }
    unrelated jobs' wall clocks. A job's recorded time is therefore the
    real cost of producing that table at the current domain budget, and
    every table is deterministic for every [--jobs] value, so the printed
-   output stays byte-identical. Returns per-job timings in registry
-   order. *)
+   output stays byte-identical. Returns per-job timings (with GC-pressure
+   deltas from the running domain) in registry order; each job also runs
+   under a [bench.NAME] span, so [--trace] profiles the whole harness. *)
 let run_jobs ?(smoke = false) () =
   let selected = if smoke then List.filter (fun j -> j.smoke) jobs else jobs in
   List.map
     (fun j ->
+      let g0 = Gc.quick_stat () in
       let t0 = Unix.gettimeofday () in
-      let out = render (j.table ()) in
-      let timing = { job = j.name; seconds = Unix.gettimeofday () -. t0 } in
+      let out = Xt_obs.Obs.span ("bench." ^ j.name) (fun () -> render (j.table ())) in
+      let seconds = Unix.gettimeofday () -. t0 in
+      let g1 = Gc.quick_stat () in
+      let timing =
+        {
+          job = j.name;
+          seconds;
+          minor_words = int_of_float (g1.Gc.minor_words -. g0.Gc.minor_words);
+          major_words = int_of_float (g1.Gc.major_words -. g0.Gc.major_words);
+        }
+      in
       print_string out;
       print_newline ();
       timing)

@@ -53,28 +53,75 @@ let input_arg =
 
 (* ---------------- telemetry flags ---------------- *)
 
-let chrome_trace_arg =
-  let doc =
-    "Record span tracing and write a Chrome trace-event JSON file to $(docv) \
-     (load it in Perfetto or chrome://tracing; one track per domain)."
+(* Every subcommand composes with the same telemetry bundle; commands
+   thread one [telemetry] value through [obs_begin]/[obs_end] instead of
+   individual flags. *)
+type telemetry = {
+  tm_trace : string option; (* --trace FILE: Chrome trace JSON *)
+  tm_metrics : bool; (* --metrics: counters/gauges/histograms on exit *)
+  tm_flight : string option; (* --flight FILE: flight-recorder dump on exit *)
+  tm_report : bool; (* --trace-report: analytics tables on exit *)
+  tm_gc : bool; (* --gc-spans: GC deltas on every span *)
+}
+
+let telemetry_term =
+  let trace =
+    let doc =
+      "Record span tracing and write a Chrome trace-event JSON file to $(docv) \
+       (load it in Perfetto or chrome://tracing; one track per domain)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  let metrics =
+    let doc = "Record work metrics and print the merged counters/gauges/histograms on exit." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let flight =
+    let doc =
+      "Dump the flight recorder (the fixed-size ring of recent span/counter \
+       events, on by default) to $(docv) on exit. Set XT_FLIGHT=FILE to get \
+       the same dump even when the process dies on a fatal error."
+    in
+    Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE" ~doc)
+  in
+  let report =
+    let doc =
+      "Record span tracing and print the trace-analytics tables (wall/self \
+       time, domain utilization, series) on exit; with $(b,--metrics) the \
+       fork-efficiency section is included."
+    in
+    Arg.(value & flag & info [ "trace-report" ] ~doc)
+  in
+  let gc =
+    let doc = "Sample Gc.quick_stat around every span (minor/major words per span)." in
+    Arg.(value & flag & info [ "gc-spans" ] ~doc)
+  in
+  Term.(
+    const (fun tm_trace tm_metrics tm_flight tm_report tm_gc ->
+        { tm_trace; tm_metrics; tm_flight; tm_report; tm_gc })
+    $ trace $ metrics $ flight $ report $ gc)
 
-let metrics_arg =
-  let doc = "Record work metrics and print the merged counters/gauges/histograms on exit." in
-  Arg.(value & flag & info [ "metrics" ] ~doc)
+let obs_begin tm =
+  if tm.tm_metrics then Obs.enable_metrics ();
+  if tm.tm_gc then Obs.enable_gc_sampling ();
+  if tm.tm_trace <> None || tm.tm_report then Obs.enable_tracing ()
 
-let obs_begin ~trace ~metrics =
-  if metrics then Obs.enable_metrics ();
-  if trace <> None then Obs.enable_tracing ()
-
-let obs_end ~trace ~metrics =
-  (match trace with
+let obs_end tm =
+  (match tm.tm_trace with
   | Some file ->
       Obs.write_trace file;
       Printf.printf "trace written to %s\n" file
   | None -> ());
-  if metrics then begin
+  if tm.tm_report then begin
+    let dump = if tm.tm_metrics then Some (Obs.snapshot ()) else None in
+    print_string (Trace_report.report ?dump (Obs.events ()))
+  end;
+  (match tm.tm_flight with
+  | Some file ->
+      Obs.write_flight file;
+      Printf.printf "flight dump written to %s\n" file
+  | None -> ());
+  if tm.tm_metrics then begin
     let b = Buffer.create 1024 in
     Obs.pp_dump b (Obs.drain ());
     print_string "== metrics ==\n";
@@ -96,7 +143,8 @@ let load_tree family size seed input =
 
 (* ---------------- generate ---------------- *)
 
-let generate family size seed output =
+let generate family size seed output tm =
+  obs_begin tm;
   let t = make_tree family size seed in
   let s = Bintree.stats t in
   Printf.printf "family=%s nodes=%d height=%d leaves=%d max-degree=%d\n" family s.Bintree.size
@@ -108,7 +156,8 @@ let generate family size seed output =
       close_out oc;
       Printf.printf "written to %s\n" file
   | None -> ());
-  if size <= 64 && output = None then Format.printf "shape: %a@." Bintree.pp t
+  if size <= 64 && output = None then Format.printf "shape: %a@." Bintree.pp t;
+  obs_end tm
 
 let output_arg =
   let doc = "Write the generated tree to $(docv) in the Codec format." in
@@ -118,7 +167,7 @@ let generate_cmd =
   let doc = "Generate a guest binary tree and print its statistics." in
   Cmd.v
     (Cmd.info "generate" ~doc)
-    Term.(const generate $ family_arg $ size_arg $ seed_arg $ output_arg)
+    Term.(const generate $ family_arg $ size_arg $ seed_arg $ output_arg $ telemetry_term)
 
 (* ---------------- embed ---------------- *)
 
@@ -174,10 +223,9 @@ let svg_arg =
   let doc = "Write a self-contained SVG rendering of the embedding to $(docv) (Theorem 1 only)." in
   Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
 
-let embed_run family size seed capacity algorithm trace repair input dot svg jobs chrome_trace
-    metrics =
+let embed_run family size seed capacity algorithm trace repair input dot svg jobs tm =
   (match jobs with Some n -> Parallel.set_domain_budget n | None -> ());
-  obs_begin ~trace:chrome_trace ~metrics;
+  obs_begin tm;
   let t = load_tree family size seed input in
   (match algorithm with
   | Theorem1_alg ->
@@ -235,7 +283,7 @@ let embed_run family size seed capacity algorithm trace repair input dot svg job
   | Bfs ->
       let res = Order_layout.embed ~capacity ~order:Order_layout.Bfs t in
       print_report "bfs-layout" res.Order_layout.embedding None);
-  obs_end ~trace:chrome_trace ~metrics
+  obs_end tm
 
 let embed_cmd =
   let doc = "Embed a guest tree into an X-tree and report dilation/load/expansion." in
@@ -244,7 +292,7 @@ let embed_cmd =
     Term.(
       const embed_run $ family_arg $ size_arg $ seed_arg $ capacity_arg $ algorithm_arg
       $ weight_trace_arg $ repair_arg $ input_arg $ dot_arg $ svg_arg $ jobs_arg
-      $ chrome_trace_arg $ metrics_arg)
+      $ telemetry_term)
 
 (* ---------------- embed-batch ---------------- *)
 
@@ -271,9 +319,9 @@ let read_batch file =
   close_in ic;
   List.rev !trees
 
-let embed_batch_run file capacity algorithm jobs chrome_trace metrics =
+let embed_batch_run file capacity algorithm jobs tm =
   (match jobs with Some n -> Parallel.set_domain_budget n | None -> ());
-  obs_begin ~trace:chrome_trace ~metrics;
+  obs_begin tm;
   let trees = read_batch file in
   let embed_one =
     match algorithm with
@@ -324,7 +372,7 @@ let embed_batch_run file capacity algorithm jobs chrome_trace metrics =
         (Embedding.dilation ~dist e) (Embedding.load e) height)
     trees;
   Printf.printf "batch: trees=%d unique=%d\n" (List.length trees) (List.length unique);
-  obs_end ~trace:chrome_trace ~metrics
+  obs_end tm
 
 let embed_batch_cmd =
   let doc =
@@ -335,11 +383,12 @@ let embed_batch_cmd =
     (Cmd.info "embed-batch" ~doc)
     Term.(
       const embed_batch_run $ batch_input_arg $ capacity_arg $ algorithm_arg $ jobs_arg
-      $ chrome_trace_arg $ metrics_arg)
+      $ telemetry_term)
 
 (* ---------------- hypercube ---------------- *)
 
-let hypercube_run family size seed capacity injective =
+let hypercube_run family size seed capacity injective tm =
+  obs_begin tm;
   let t = make_tree family size seed in
   let res =
     if injective then Hypercube_transfer.embed_injective ~capacity t
@@ -350,7 +399,8 @@ let hypercube_run family size seed capacity injective =
     res.Hypercube_transfer.embedding
     (Some (Hypercube_transfer.distance_oracle res));
   Printf.printf "host: Q_%d with %d vertices\n" res.Hypercube_transfer.dim
-    (Hypercube.order res.Hypercube_transfer.cube)
+    (Hypercube.order res.Hypercube_transfer.cube);
+  obs_end tm
 
 let injective_arg =
   let doc = "Use the injective corollary (4 extra dimensions, dilation <= 8)." in
@@ -360,7 +410,9 @@ let hypercube_cmd =
   let doc = "Embed a guest tree into a hypercube via Theorem 3 / Lemma 3." in
   Cmd.v
     (Cmd.info "hypercube" ~doc)
-    Term.(const hypercube_run $ family_arg $ size_arg $ seed_arg $ capacity_arg $ injective_arg)
+    Term.(
+      const hypercube_run $ family_arg $ size_arg $ seed_arg $ capacity_arg $ injective_arg
+      $ telemetry_term)
 
 (* ---------------- universal ---------------- *)
 
@@ -368,7 +420,8 @@ let height_arg =
   let doc = "X-tree height for the universal graph." in
   Arg.(value & opt int 3 & info [ "height" ] ~docv:"H" ~doc)
 
-let universal_run height family seed =
+let universal_run height family seed tm =
+  obs_begin tm;
   let u = Universal.create height in
   Printf.printf "universal graph: n=%d edges=%d max-degree=%d (paper bound %d)\n"
     (Universal.order u)
@@ -376,13 +429,15 @@ let universal_run height family seed =
     (Graph.max_degree u.Universal.graph)
     Universal.degree_bound;
   let t = make_tree family (Universal.order u) seed in
-  match Universal.spanning_tree_of u t with
+  (match Universal.spanning_tree_of u t with
   | Ok _ -> Printf.printf "%s tree with %d nodes: realised as a spanning tree\n" family (Universal.order u)
-  | Error msg -> Printf.printf "%s tree: FAILED (%s)\n" family msg
+  | Error msg -> Printf.printf "%s tree: FAILED (%s)\n" family msg);
+  obs_end tm
 
 let universal_cmd =
   let doc = "Build the Theorem 4 universal graph and check a spanning tree." in
-  Cmd.v (Cmd.info "universal" ~doc) Term.(const universal_run $ height_arg $ family_arg $ seed_arg)
+  Cmd.v (Cmd.info "universal" ~doc)
+    Term.(const universal_run $ height_arg $ family_arg $ seed_arg $ telemetry_term)
 
 (* ---------------- simulate ---------------- *)
 
@@ -436,10 +491,9 @@ let simulate_suite ~family ~size ~link_capacity ~service_rate t (res : Theorem1.
   rows outcomes;
   Tab.print tab
 
-let simulate_run family size seed workload link_capacity service_rate suite chrome_trace
-    metrics =
+let simulate_run family size seed workload link_capacity service_rate suite tm =
   let service_rate = if service_rate = 0 then None else Some service_rate in
-  obs_begin ~trace:chrome_trace ~metrics;
+  obs_begin tm;
   let t = make_tree family size seed in
   let res = Theorem1.embed t in
   (if suite then simulate_suite ~family ~size ~link_capacity ~service_rate t res
@@ -466,7 +520,7 @@ let simulate_run family size seed workload link_capacity service_rate suite chro
              (Stats.max_int_array lats) busiest (Sim.max_link_queue sim)
              (Sim.max_inbox_queue sim)
          end);
-  obs_end ~trace:chrome_trace ~metrics
+  obs_end tm
 
 let simulate_cmd =
   let doc = "Simulate a tree workload natively and on the embedded X-tree network." in
@@ -474,8 +528,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const simulate_run $ family_arg $ size_arg $ seed_arg $ workload_arg
-      $ link_capacity_arg $ service_rate_arg $ suite_arg $ chrome_trace_arg
-      $ metrics_arg)
+      $ link_capacity_arg $ service_rate_arg $ suite_arg $ telemetry_term)
 
 (* ---------------- neighbourhood ---------------- *)
 
@@ -483,7 +536,8 @@ let vertex_arg =
   let doc = "X-tree vertex address as a binary string (or 'e' for the root)." in
   Arg.(value & opt string "e" & info [ "v"; "vertex" ] ~docv:"ADDR" ~doc)
 
-let neighbourhood_run height vertex =
+let neighbourhood_run height vertex tm =
+  obs_begin tm;
   let xt = Xtree.create ~height in
   let a = Xtree.of_string vertex in
   if not (Xtree.mem xt a) then begin
@@ -493,11 +547,13 @@ let neighbourhood_run height vertex =
   let n = Xtree.neighbourhood xt a in
   Printf.printf "N(%s) in X(%d): %d vertices (paper bound: self + %d)\n" vertex height
     (List.length n) Xtree.neighbourhood_closure_bound;
-  List.iter (fun b -> Printf.printf "  %s\n" (Xtree.to_string b)) n
+  List.iter (fun b -> Printf.printf "  %s\n" (Xtree.to_string b)) n;
+  obs_end tm
 
 let neighbourhood_cmd =
   let doc = "Print the Figure 2 neighbourhood N(a) of an X-tree vertex." in
-  Cmd.v (Cmd.info "neighbourhood" ~doc) Term.(const neighbourhood_run $ height_arg $ vertex_arg)
+  Cmd.v (Cmd.info "neighbourhood" ~doc)
+    Term.(const neighbourhood_run $ height_arg $ vertex_arg $ telemetry_term)
 
 (* ---------------- exact ---------------- *)
 
@@ -528,23 +584,26 @@ let max_dilation_arg =
   let doc = "Give up beyond this dilation." in
   Arg.(value & opt int 6 & info [ "max-dilation" ] ~docv:"D" ~doc)
 
-let exact_run family size seed host max_dilation =
+let exact_run family size seed host max_dilation tm =
+  obs_begin tm;
   let t = make_tree family size seed in
   if size > 15 then
     Printf.eprintf "warning: branch and bound is exponential; %d nodes may take very long\n" size;
-  match Exact.optimal_dilation ~max_dilation ~guest:t ~host () with
+  (match Exact.optimal_dilation ~max_dilation ~guest:t ~host () with
   | Some d -> Printf.printf "optimal injective dilation of %s (n=%d): %d\n" family size d
-  | None -> Printf.printf "no injective embedding within dilation %d (or guest too large)\n" max_dilation
+  | None -> Printf.printf "no injective embedding within dilation %d (or guest too large)\n" max_dilation);
+  obs_end tm
 
 let exact_cmd =
   let doc = "Exact minimum-dilation embedding of a small tree (branch & bound)." in
   Cmd.v
     (Cmd.info "exact" ~doc)
-    Term.(const exact_run $ family_arg $ Arg.(value & opt int 12 & info [ "n"; "size" ] ~docv:"N" ~doc:"Guest size (keep small).") $ seed_arg $ host_arg $ max_dilation_arg)
+    Term.(const exact_run $ family_arg $ Arg.(value & opt int 12 & info [ "n"; "size" ] ~docv:"N" ~doc:"Guest size (keep small).") $ seed_arg $ host_arg $ max_dilation_arg $ telemetry_term)
 
 (* ---------------- route ---------------- *)
 
-let route_run height src dst =
+let route_run height src dst tm =
+  obs_begin tm;
   let xt = Xtree.create ~height in
   let a = Xtree.of_string src and b = Xtree.of_string dst in
   if not (Xtree.mem xt a && Xtree.mem xt b) then begin
@@ -555,14 +614,16 @@ let route_run height src dst =
   if a <> b then begin
     let path = Xtree.route xt ~src:a ~dst:b in
     Printf.printf "route: %s\n" (String.concat " -> " (List.map Xtree.to_string path))
-  end
+  end;
+  obs_end tm
 
 let src_arg = Arg.(value & opt string "e" & info [ "from" ] ~docv:"ADDR" ~doc:"Source address.")
 let dst_arg = Arg.(value & opt string "e" & info [ "to" ] ~docv:"ADDR" ~doc:"Destination address.")
 
 let route_cmd =
   let doc = "Table-free greedy routing between two X-tree addresses." in
-  Cmd.v (Cmd.info "route" ~doc) Term.(const route_run $ height_arg $ src_arg $ dst_arg)
+  Cmd.v (Cmd.info "route" ~doc)
+    Term.(const route_run $ height_arg $ src_arg $ dst_arg $ telemetry_term)
 
 (* ---------------- weighted ---------------- *)
 
@@ -574,7 +635,8 @@ let max_weight_arg =
   let doc = "Node weights are drawn skewed from 1..$(docv)." in
   Arg.(value & opt int 32 & info [ "max-weight" ] ~docv:"W" ~doc)
 
-let weighted_run family size seed budget max_weight =
+let weighted_run family size seed budget max_weight tm =
+  obs_begin tm;
   let t = make_tree family size seed in
   let rng = Rng.make ~seed:(seed + 1) in
   let weights =
@@ -590,17 +652,69 @@ let weighted_run family size seed budget max_weight =
     (Weighted.imbalance res) dil;
   let blind = Theorem1.embed ~height:res.Weighted.height t in
   Printf.printf "weight-blind theorem1 on the same host: max-vertex=%d\n"
-    (Weighted.evaluate_placement ~weights blind.Theorem1.embedding)
+    (Weighted.evaluate_placement ~weights blind.Theorem1.embedding);
+  obs_end tm
 
 let weighted_cmd =
   let doc = "Weight-aware embedding of a tree with heterogeneous node costs." in
   Cmd.v
     (Cmd.info "weighted" ~doc)
-    Term.(const weighted_run $ family_arg $ size_arg $ seed_arg $ budget_arg $ max_weight_arg)
+    Term.(
+      const weighted_run $ family_arg $ size_arg $ seed_arg $ budget_arg $ max_weight_arg
+      $ telemetry_term)
+
+(* ---------------- trace (analytics) ---------------- *)
+
+let trace_report_run file deterministic =
+  let contents =
+    try
+      let ic = open_in_bin file in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  match Trace_report.of_trace_json contents with
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 2
+  | Ok evs -> print_string (Trace_report.report ~deterministic evs)
+
+let trace_cmd =
+  let report_cmd =
+    let doc =
+      "Analyse an exported Chrome trace (as written by $(b,--trace)): per-span \
+       wall vs. self time, per-domain utilization and idle gaps, counter \
+       series, and GC pressure when spans were recorded with $(b,--gc-spans)."
+    in
+    let file =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.json"
+             ~doc:"Chrome trace-event JSON file.")
+    in
+    let deterministic =
+      let doc =
+        "Project away schedule-dependent data (time columns, per-domain rows, \
+         parallel.* events): the remaining tables are byte-identical across \
+         --jobs values for a deterministic computation."
+      in
+      Arg.(value & flag & info [ "deterministic" ] ~doc)
+    in
+    Cmd.v (Cmd.info "report" ~doc) Term.(const trace_report_run $ file $ deterministic)
+  in
+  let doc = "Trace analytics over exported Chrome traces." in
+  Cmd.group (Cmd.info "trace" ~doc) [ report_cmd ]
 
 (* ---------------- main ---------------- *)
 
 let () =
+  (* XT_FLIGHT=FILE arms an at_exit flight-recorder dump: it fires on
+     normal exit, on [exit 2] error paths, and after uncaught exceptions
+     reach cmdliner — the post-mortem channel for wedged or dying runs. *)
+  (match Sys.getenv_opt "XT_FLIGHT" with
+  | Some file when file <> "" -> at_exit (fun () -> Obs.write_flight file)
+  | _ -> ());
   let doc = "Simulating binary trees on X-trees (Monien, SPAA 1991)" in
   let info = Cmd.info "xtree" ~version:"1.0.0" ~doc in
   exit
@@ -617,4 +731,5 @@ let () =
             exact_cmd;
             route_cmd;
             weighted_cmd;
+            trace_cmd;
           ]))

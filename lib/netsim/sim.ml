@@ -439,6 +439,7 @@ let fast_forward t ~on_deliver =
   on_deliver ~tag t
 
 let run t ~on_deliver =
+  Obs.span "netsim.run" @@ fun () ->
   let start = t.cycle in
   while t.in_flight > 0 do
     if t.in_flight = 1 && t.n_act_link = 1 && t.n_act_inbox = 0 then

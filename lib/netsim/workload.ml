@@ -184,6 +184,7 @@ let embedded_case ?label workload (e : Embedding.t) =
   { label; workload; tree = e.tree; embedding = Some e }
 
 let run_case ?link_capacity ?service_rate case =
+  Xt_obs.Obs.span "netsim.case" @@ fun () ->
   let sim, place =
     match case.embedding with
     | None ->

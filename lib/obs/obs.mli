@@ -24,7 +24,14 @@
     stamped by an injectable monotonic clock ({!set_clock}); the event
     log is exported as Chrome trace-event JSON ({!trace_json}), loadable
     in Perfetto / [chrome://tracing], with one track (tid) per domain
-    shard. *)
+    shard.
+
+    {b Flight recorder.} Independently of tracing, every span/instant
+    entry point also appends to a fixed-size per-shard ring of recent
+    events. The rings are preallocated (appending is a handful of array
+    stores), so the recorder is on by default and costs nothing at
+    steady state; {!pp_flight} dumps the retained tail on demand, on
+    fatal error, or at exit. *)
 
 (** {1 Flags and clock} *)
 
@@ -40,10 +47,27 @@ val enable_tracing : unit -> unit
 
 val disable_tracing : unit -> unit
 
+val recorder_enabled : unit -> bool
+val enable_recorder : unit -> unit
+val disable_recorder : unit -> unit
+(** The flight recorder starts enabled; disabling it reduces spans and
+    instants back to a flag check when tracing is also off. *)
+
+val gc_sampling_enabled : unit -> bool
+val enable_gc_sampling : unit -> unit
+val disable_gc_sampling : unit -> unit
+(** When GC sampling is on, every span samples [Gc.quick_stat] at entry
+    and exit and attaches the minor/major-words deltas to its end event
+    ([args.v] / [args.v2] in the Chrome export). Off by default: the
+    deltas are not deterministic and the stat read itself allocates. *)
+
 val set_clock : (unit -> int) -> unit
 (** Inject a monotonic nanosecond clock (used by spans and timed
     histograms). The default derives from [Unix.gettimeofday]. Tests
-    inject a fake counter to make traces fully deterministic. *)
+    inject a fake counter to make traces fully deterministic; setting
+    [XT_FAKE_CLOCK=1] in the environment installs such a counter
+    (1000 ns per reading) at module load, which the trace-smoke rules
+    use to make whole-CLI traces byte-stable. *)
 
 val now_ns : unit -> int
 (** The current clock reading. *)
@@ -120,16 +144,24 @@ val dump_json : dump -> string
 
 val pp_dump : Buffer.t -> dump -> unit
 (** Human-readable [name = value] lines (counters and gauges), then one
-    line per histogram with count/sum/min/max — the [--metrics] output
-    of the CLI. *)
+    line per histogram with count/sum/min/max/p50/p90/p99 — the
+    [--metrics] output of the CLI. *)
+
+val quantile : histogram_row -> float -> int
+(** [quantile r q] estimates the [q]-quantile ([0 < q <= 1]) of a merged
+    histogram row as the upper bound of the bucket containing the
+    ceil(q·count)-th sample, clamped to the observed [vmin, vmax] range
+    (which makes the overflow bucket finite and single-sample rows
+    exact). Returns 0 when the row is empty. *)
 
 (** {1 Tracing} *)
 
 val span : ?arg:int -> string -> (unit -> 'a) -> 'a
 (** [span name f] records a begin event, runs [f], and records the
     matching end event even when [f] raises. [?arg] is attached to the
-    begin event as [args.v]. When tracing is disabled, [f] is called
-    directly after the flag check. *)
+    begin event as [args.v]. The events go to the trace log when tracing
+    is on and to the flight-recorder ring when the recorder is on; with
+    both off, [f] is called directly after the flag check. *)
 
 val instant : ?arg:int -> string -> unit
 (** A zero-duration instant event. *)
@@ -150,3 +182,52 @@ val trace_json : unit -> string
 
 val write_trace : string -> unit
 (** Write {!trace_json} to a file. *)
+
+(** {1 Event export}
+
+    The in-memory trace log in a neutral form, for the analytics engine
+    ({!Trace_report}) and anything else that post-processes events
+    without a JSON round trip. *)
+
+type event = {
+  ev_tid : int;            (** shard / Chrome track id *)
+  ev_name : string;
+  ev_ph : char;            (** 'B' | 'E' | 'i' | 'C' *)
+  ev_ts : int;             (** ns since the trace origin *)
+  ev_arg : int;            (** [min_int] = none *)
+  ev_arg2 : int;           (** [min_int] = none *)
+}
+
+val events : unit -> event list
+(** Every recorded trace event, shards in index order, each shard's
+    events in recording order. *)
+
+(** {1 Flight recorder} *)
+
+val recorder_capacity : unit -> int
+(** Ring capacity per shard (a power of two; default 256). *)
+
+val set_recorder_capacity : int -> unit
+(** Resize every ring to the next power of two >= the argument (floor
+    16), discarding current contents. *)
+
+val reset_recorder : unit -> unit
+(** Forget all retained events (capacity is kept). *)
+
+val flight_events : unit -> event list
+(** The retained ring contents, shards in index order, each shard
+    oldest first. [ev_ts] here is the raw clock reading (the recorder
+    runs even when tracing never set an origin). *)
+
+val flight_dropped : unit -> int
+(** Total events overwritten before they could be dumped, across all
+    shards. *)
+
+val pp_flight : Buffer.t -> unit
+(** Render the retained events as a human-readable dump: a header with
+    capacity/recorded/dropped, then per-shard blocks with timestamps
+    relative to the earliest retained event. *)
+
+val write_flight : string -> unit
+(** Write {!pp_flight} to a file (the [--flight FILE] / [XT_FLIGHT]
+    dump). *)

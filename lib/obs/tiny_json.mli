@@ -1,0 +1,24 @@
+(** A minimal JSON reader for documents this repo writes itself (Chrome
+    trace exports, bench baselines). Not a general-purpose parser: all
+    numbers become floats, [\u] escapes outside ASCII decode to ['?']. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete document; trailing non-whitespace is an error. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects and missing keys. *)
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_string : t -> string option
+
+val to_int : t -> int option
+(** The number rounded to the nearest integer. *)

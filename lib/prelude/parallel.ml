@@ -27,6 +27,7 @@ let c_batches = Obs.counter "parallel.batches"
 let c_chunks = Obs.counter "parallel.chunks"
 let c_forks_taken = Obs.counter "parallel.forks_taken"
 let c_forks_seq = Obs.counter "parallel.forks_sequentialized"
+let g_lanes = Obs.gauge "parallel.lanes"
 let h_queue_wait = Obs.histogram "parallel.queue_wait_ns"
 
 let recommended_domains () =
@@ -232,6 +233,7 @@ let parallel_for ?domains ?chunk n body =
         }
       in
       Obs.incr c_batches;
+      Obs.set_gauge g_lanes lanes;
       Obs.span ~arg:n "parallel.for" @@ fun () ->
       Mutex.lock pool.m;
       pool.queue <- pool.queue @ [ b ];

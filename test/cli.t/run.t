@@ -166,3 +166,54 @@ served line):
   cache.hits = 3
   cache.misses = 2
   cache.verify_rejects = 0
+
+Observability v2: the same telemetry terms are mounted on every
+subcommand, so --metrics / --trace / --flight compose with all of them,
+not just embed and simulate:
+
+  $ XT_DOMAINS=1 xtree route --height 5 --from 00000 --to 11111 --metrics | sed -n '3p'
+  == metrics ==
+  $ XT_DOMAINS=1 xtree hypercube -f path -n 240 -s 1 --metrics | grep -E '^(adjust.nodes_moved|theorem1.rounds) '
+  adjust.nodes_moved = 20
+  theorem1.rounds = 3
+  $ XT_DOMAINS=1 XT_FAKE_CLOCK=1 xtree weighted -f uniform -n 1000 -s 1 --budget 128 --trace w.json | tail -n 1
+  trace written to w.json
+  $ test $(grep -c '"ph":"B"' w.json) -eq $(grep -c '"ph":"E"' w.json) && echo balanced
+  balanced
+  $ XT_DOMAINS=1 xtree embed-batch -i batch.txt --metrics --trace b.json | grep '^trace written'
+  trace written to b.json
+  $ grep -c '"name":"theorem1.embed","ph":"B"' b.json
+  2
+
+The flight recorder is on by default; --flight (or XT_FLIGHT=FILE in
+the environment) dumps the per-domain rings of recent events on exit:
+
+  $ XT_DOMAINS=1 XT_FAKE_CLOCK=1 xtree embed -f uniform -n 240 -s 7 --flight fl.txt > /dev/null
+  $ head -n 2 fl.txt
+  == flight recorder ==
+  capacity=256/shard recorded=22 dropped=0
+  $ XT_DOMAINS=1 XT_FLIGHT=fl2.txt xtree route --height 3 --from 000 --to 111 > /dev/null
+  $ head -n 1 fl2.txt
+  == flight recorder ==
+
+Trace analytics: `xtree trace report` digests a trace file into tables;
+the --deterministic projection is stable across runs and --jobs under
+the fake clock (the full report adds wall-time and per-domain tables):
+
+  $ XT_DOMAINS=1 XT_FAKE_CLOCK=1 xtree embed -f uniform -n 240 -s 7 --trace t.json > /dev/null
+  $ xtree trace report --deterministic t.json
+  == spans (deterministic) ==
+  span                   count
+  theorem1.adjust-sweep      3
+  theorem1.embed             1
+  theorem1.final-fill        1
+  theorem1.round             3
+  theorem1.split-sweep       3
+  $ xtree trace report t.json | grep -E '^== (spans|domains) =='
+  == spans ==
+  == domains ==
+
+--trace-report skips the file and reports on the in-memory log at exit:
+
+  $ XT_DOMAINS=1 xtree simulate -f uniform -n 240 -s 7 --trace-report | grep -cE '^== (spans|domains|instants|series) =='
+  4

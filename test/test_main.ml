@@ -22,5 +22,6 @@ let () =
       ("netsim-ref", Test_netsim_ref.suite);
       ("theorem1-ref", Test_theorem1_ref.suite);
       ("obs", Test_obs.suite);
+      ("trace-report", Test_trace_report.suite);
       ("cache", Test_cache.suite);
     ]

@@ -11,8 +11,10 @@ let checkb = Alcotest.(check bool)
 let quiesce () =
   Obs.disable_metrics ();
   Obs.disable_tracing ();
+  Obs.disable_gc_sampling ();
   Obs.reset_metrics ();
-  Obs.reset_trace ()
+  Obs.reset_trace ();
+  Obs.reset_recorder ()
 
 (* ---------------- minimal JSON reader ----------------
 
@@ -295,6 +297,154 @@ let test_trace_disabled_passthrough () =
   quiesce ();
   check "span returns" 17 (Obs.span "unrecorded" (fun () -> 17))
 
+(* ---------------- flight recorder ---------------- *)
+
+let with_fake_clock f =
+  let tick = ref 0 in
+  Obs.set_clock (fun () ->
+      incr tick;
+      !tick * 1000);
+  Fun.protect
+    ~finally:(fun () -> Obs.set_clock (fun () -> int_of_float (Unix.gettimeofday () *. 1e9)))
+    f
+
+let test_recorder_ring_wraps () =
+  quiesce ();
+  with_fake_clock @@ fun () ->
+  Obs.set_recorder_capacity 16;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_recorder_capacity 256)
+    (fun () ->
+      checkb "recorder on by default" true (Obs.recorder_enabled ());
+      check "capacity rounded" 16 (Obs.recorder_capacity ());
+      for i = 1 to 40 do
+        Obs.instant ~arg:i "test.flight"
+      done;
+      let evs = Obs.flight_events () in
+      check "ring keeps the newest capacity events" 16 (List.length evs);
+      check "dropped counts the overwritten prefix" 24 (Obs.flight_dropped ());
+      let args = List.map (fun e -> e.Obs.ev_arg) evs in
+      Alcotest.(check (list int)) "oldest-to-newest tail" (List.init 16 (fun i -> 25 + i)) args;
+      let b = Buffer.create 256 in
+      Obs.pp_flight b;
+      let dump = Buffer.contents b in
+      checkb "dump has header" true
+        (String.length dump > 0
+        && String.sub dump 0 (String.length "== flight recorder ==") = "== flight recorder ==");
+      checkb "dump names events" true
+        (let re = "test.flight" in
+         let rec find i =
+           i + String.length re <= String.length dump
+           && (String.sub dump i (String.length re) = re || find (i + 1))
+         in
+         find 0))
+
+let test_recorder_ring_allocation_free () =
+  quiesce ();
+  with_fake_clock @@ fun () ->
+  (* warm: make sure the instant's path has run once *)
+  Obs.instant "test.flight_alloc";
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Obs.instant ~arg:3 "test.flight_alloc"
+  done;
+  let allocated = Gc.minor_words () -. before in
+  (* The ring append itself is allocation-free; the default wall clock
+     boxes one float per reading, which is why this runs under the fake
+     integer clock. *)
+  checkb (Printf.sprintf "10k recordings allocated %.0f words" allocated) true (allocated < 256.)
+
+let test_recorder_off_means_silent () =
+  quiesce ();
+  Obs.disable_recorder ();
+  Fun.protect
+    ~finally:(fun () -> Obs.enable_recorder ())
+    (fun () ->
+      ignore (Obs.span "test.flight_off" (fun () -> 0));
+      Obs.instant "test.flight_off";
+      check "nothing retained" 0 (List.length (Obs.flight_events ())))
+
+(* ---------------- histogram quantiles ---------------- *)
+
+let test_quantile_empty () =
+  let r =
+    {
+      Obs.h_name = "q.empty";
+      bounds = [| 1; 10; 100 |];
+      counts = [| 0; 0; 0; 0 |];
+      count = 0;
+      sum = 0;
+      vmin = 0;
+      vmax = 0;
+    }
+  in
+  check "empty p50" 0 (Obs.quantile r 0.50);
+  check "empty p99" 0 (Obs.quantile r 0.99)
+
+let row_of name = List.find (fun r -> r.Obs.h_name = name)
+
+let test_quantile_single_sample () =
+  quiesce ();
+  Obs.enable_metrics ();
+  let h = Obs.histogram ~buckets:[| 1; 10; 100 |] "test.q_single" in
+  Obs.observe h 7;
+  let d = Obs.drain () in
+  Obs.disable_metrics ();
+  let r = row_of "test.q_single" d.Obs.histograms in
+  (* one sample: every quantile is that sample, exactly (vmin/vmax
+     clamping, not the bucket bound 10) *)
+  check "p50" 7 (Obs.quantile r 0.50);
+  check "p90" 7 (Obs.quantile r 0.90);
+  check "p99" 7 (Obs.quantile r 0.99)
+
+let test_quantile_overflow_bucket () =
+  quiesce ();
+  Obs.enable_metrics ();
+  let h = Obs.histogram ~buckets:[| 1; 10; 100 |] "test.q_over" in
+  List.iter (Obs.observe h) [ 50; 5000 ];
+  let d = Obs.drain () in
+  Obs.disable_metrics ();
+  let r = row_of "test.q_over" d.Obs.histograms in
+  (* rank 1 falls in the (10,100] bucket and reports its upper bound;
+     rank 2 in the unbounded overflow bucket, which must clamp to the
+     observed max *)
+  check "p50 bucket upper bound" 100 (Obs.quantile r 0.50);
+  check "p99 overflow clamps to vmax" 5000 (Obs.quantile r 0.99);
+  let b = Buffer.create 128 in
+  Obs.pp_dump b d;
+  let line = Buffer.contents b in
+  checkb "pp_dump carries quantiles" true
+    (let re = "p99=5000" in
+     let rec find i =
+       i + String.length re <= String.length line
+       && (String.sub line i (String.length re) = re || find (i + 1))
+     in
+     find 0)
+
+(* ---------------- late-domain shards ---------------- *)
+
+(* Instruments are registered at module-init time, but pool domains are
+   created lazily — often after registration. Drain must still merge
+   samples recorded from shards those late domains map to, including ids
+   past nshards (which wrap onto earlier shards). *)
+let test_drain_covers_late_domains () =
+  quiesce ();
+  Obs.enable_metrics ();
+  let c = Obs.counter "test.late_domains" in
+  let h = Obs.histogram ~buckets:[| 1; 10; 100 |] "test.late_hist" in
+  let spawned = 80 in
+  for i = 1 to spawned do
+    Domain.join
+      (Domain.spawn (fun () ->
+           Obs.incr c;
+           Obs.observe h (i mod 7)))
+  done;
+  let d = Obs.drain () in
+  Obs.disable_metrics ();
+  check "every late-domain increment merged" spawned (List.assoc "test.late_domains" d.Obs.counters);
+  let r = row_of "test.late_hist" d.Obs.histograms in
+  check "every late-domain sample merged" spawned r.Obs.count
+
 let suite =
   [
     ("disabled records nothing", `Quick, test_disabled_records_nothing);
@@ -303,4 +453,11 @@ let suite =
     ("counters independent of jobs", `Quick, test_counters_domain_count_independent);
     ("trace shape under fake clock", `Quick, test_trace_shape_fake_clock);
     ("trace disabled passthrough", `Quick, test_trace_disabled_passthrough);
+    ("recorder ring wraps", `Quick, test_recorder_ring_wraps);
+    ("recorder ring allocation free", `Quick, test_recorder_ring_allocation_free);
+    ("recorder off is silent", `Quick, test_recorder_off_means_silent);
+    ("quantile empty histogram", `Quick, test_quantile_empty);
+    ("quantile single sample", `Quick, test_quantile_single_sample);
+    ("quantile overflow bucket", `Quick, test_quantile_overflow_bucket);
+    ("drain covers late domains", `Quick, test_drain_covers_late_domains);
   ]
