@@ -458,14 +458,23 @@ let suite_arg =
   let doc = "Replay every workload (natively and embedded) and print one table." in
   Arg.(value & flag & info [ "suite" ] ~doc)
 
-let simulate_suite ~family ~size ~link_capacity ~service_rate t (res : Theorem1.result) =
+let shards_arg =
+  let doc =
+    "Partition the simulated host across N domain lanes (cycle-barrier \
+     sharding). Results are bit-identical at every setting; only the wall \
+     clock changes."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
+let simulate_suite ~family ~size ~link_capacity ~service_rate ~shards t
+    (res : Theorem1.result) =
   let cases =
     List.concat_map
       (fun (w : Workload.spec) ->
         [ Workload.native_case w t; Workload.embedded_case w res.Theorem1.embedding ])
       Workload.workloads
   in
-  let outcomes = Workload.run_suite ~link_capacity ?service_rate cases in
+  let outcomes = Workload.run_suite ~link_capacity ?service_rate ~shards cases in
   let tab =
     Tab.create
       ~title:
@@ -491,12 +500,14 @@ let simulate_suite ~family ~size ~link_capacity ~service_rate t (res : Theorem1.
   rows outcomes;
   Tab.print tab
 
-let simulate_run family size seed workload link_capacity service_rate suite tm =
+let simulate_run family size seed workload link_capacity service_rate suite shards tm =
   let service_rate = if service_rate = 0 then None else Some service_rate in
   obs_begin tm;
   let t = make_tree family size seed in
   let res = Theorem1.embed t in
-  (if suite then simulate_suite ~family ~size ~link_capacity ~service_rate t res
+  (* the shard count is deliberately absent from the output: the
+     @shard-smoke alias byte-diffs runs at different --shards values *)
+  (if suite then simulate_suite ~family ~size ~link_capacity ~service_rate ~shards t res
    else
      match
        List.find_opt (fun (w : Workload.spec) -> w.Workload.name = workload) Workload.workloads
@@ -505,8 +516,10 @@ let simulate_run family size seed workload link_capacity service_rate suite tm =
          Printf.eprintf "unknown workload %S\n" workload;
          exit 2
      | Some w ->
-         let native = Workload.run_native ~link_capacity ?service_rate w t in
-         let sim, embedded = Workload.run_on ~link_capacity ?service_rate w res.Theorem1.embedding in
+         let native = Workload.run_native ~link_capacity ?service_rate ~shards w t in
+         let sim, embedded =
+           Workload.run_on ~link_capacity ?service_rate ~shards w res.Theorem1.embedding
+         in
          Printf.printf "%s on %s (n=%d): native=%d cycles, on X(%d)=%d cycles, slowdown %.2fx\n"
            workload family size native res.Theorem1.height embedded
            (float_of_int embedded /. float_of_int (max 1 native));
@@ -528,7 +541,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const simulate_run $ family_arg $ size_arg $ seed_arg $ workload_arg
-      $ link_capacity_arg $ service_rate_arg $ suite_arg $ telemetry_term)
+      $ link_capacity_arg $ service_rate_arg $ suite_arg $ shards_arg $ telemetry_term)
 
 (* ---------------- neighbourhood ---------------- *)
 
@@ -665,7 +678,7 @@ let weighted_cmd =
 
 (* ---------------- trace (analytics) ---------------- *)
 
-let trace_report_run file deterministic =
+let trace_report_run file deterministic out =
   let contents =
     try
       let ic = open_in_bin file in
@@ -680,7 +693,18 @@ let trace_report_run file deterministic =
   | Error msg ->
       Printf.eprintf "%s: %s\n" file msg;
       exit 2
-  | Ok evs -> print_string (Trace_report.report ~deterministic evs)
+  | Ok evs -> (
+      let report = Trace_report.report ~deterministic evs in
+      match out with
+      | None -> print_string report
+      | Some path -> (
+          try
+            let oc = open_out_bin path in
+            output_string oc report;
+            close_out oc
+          with Sys_error msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 2))
 
 let trace_cmd =
   let report_cmd =
@@ -701,7 +725,14 @@ let trace_cmd =
       in
       Arg.(value & flag & info [ "deterministic" ] ~doc)
     in
-    Cmd.v (Cmd.info "report" ~doc) Term.(const trace_report_run $ file $ deterministic)
+    let out =
+      let doc =
+        "Write the report to $(docv) instead of stdout, so it can be archived \
+         next to the trace it analyses."
+      in
+      Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+    in
+    Cmd.v (Cmd.info "report" ~doc) Term.(const trace_report_run $ file $ deterministic $ out)
   in
   let doc = "Trace analytics over exported Chrome traces." in
   Cmd.group (Cmd.info "trace" ~doc) [ report_cmd ]

@@ -37,9 +37,9 @@ let absent : int array = [||]
 
 let no_rows : int array array = [||]
 
-let create graph =
+let create ?(dense = false) graph =
   let n = Graph.n graph in
-  if n > 0 && Graph.m graph = n - 1 && Graph.is_connected graph then begin
+  if (not dense) && n > 0 && Graph.m graph = n - 1 && Graph.is_connected graph then begin
     let dist, parent = Graph.bfs_parents graph 0 in
     let max_depth = Array.fold_left (fun a d -> if d > a then d else a) 0 dist in
     let levels =
@@ -107,6 +107,18 @@ let build t dst =
   let dist, parent = Graph.bfs_parents t.graph dst in
   t.dist_rows.(dst) <- dist;
   t.parent_rows.(dst) <- parent
+
+(* Prebuild every dense row so [next_hop] never mutates the router
+   afterwards — required before sharing one router across the lanes of a
+   sharded simulation (lazy building from two domains would race on the
+   row slots). Each destination's rows are independent (distinct array
+   slots, deterministic BFS content), so the fill itself fans out over
+   the domain pool. Tree-mode routers are immutable after [create]
+   already; warming one is a no-op. *)
+let warm t =
+  if not t.tree then
+    Xt_prelude.Parallel.parallel_for (Graph.n t.graph) (fun dst ->
+        if t.parent_rows.(dst) == absent then build t dst)
 
 let next_hop t ~current ~dst =
   if current = dst then invalid_arg "Router.next_hop: already there";

@@ -12,7 +12,19 @@
 
 type t
 
-val create : Xt_topology.Graph.t -> t
+val create : ?dense:bool -> Xt_topology.Graph.t -> t
+(** [~dense:true] (default false) forces the dense per-destination rows
+    even on a tree host — the two modes provably agree on trees (the
+    unique path is the BFS path; a qcheck suite pins it), so this only
+    trades memory for the table-free lifting walk. Used by the
+    equivalence tests and as the escape hatch for hosts about to lose
+    tree-ness (fault injection). *)
+
+val warm : t -> unit
+(** Precompute every lazy next-hop row (fanned over the domain pool;
+    no-op in tree mode). After [warm] the router is never mutated, so it
+    can be shared read-only across the domains of a sharded
+    simulation. *)
 
 val next_hop : t -> current:int -> dst:int -> int
 (** The neighbour to forward to. Raises [Invalid_argument] if

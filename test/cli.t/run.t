@@ -99,6 +99,19 @@ cram), then the conservation counters — everything sent was delivered:
   netsim.hops = 7256
   netsim.sent = 3348
 
+--shards partitions the simulated host across domain lanes with a
+deterministic cycle-barrier merge, so the output is byte-identical to
+the single-lane run (only the wall clock changes); the conservation
+counters pick up the boundary-crossing count:
+
+  $ xtree simulate -f uniform -n 240 -s 7 --shards 4
+  reduction on uniform (n=240): native=36 cycles, on X(3)=39 cycles, slowdown 1.08x
+  latency cycles: p50=1 p90=1 p99=2 max=2; busiest link carried 4, max queue 2, max inbox 8
+  $ xtree simulate --suite -f uniform -n 240 -s 7 --shards 4 --metrics | grep -E '^netsim\.(sent|delivered|hops) '
+  netsim.delivered = 3348
+  netsim.hops = 7256
+  netsim.sent = 3348
+
 An embedding read back from a file, with the repair pass:
 
   $ xtree embed -i tree.txt --repair
@@ -212,6 +225,11 @@ the fake clock (the full report adds wall-time and per-domain tables):
   $ xtree trace report t.json | grep -E '^== (spans|domains) =='
   == spans ==
   == domains ==
+
+--out archives the same report next to the trace instead of printing:
+
+  $ xtree trace report --deterministic --out t.report t.json
+  $ xtree trace report --deterministic t.json | diff - t.report
 
 --trace-report skips the file and reports on the in-memory log at exit:
 

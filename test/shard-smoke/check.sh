@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Sharded-simulator smoke assertions for the @shard-smoke alias.
+set -eu
+
+# deterministic cycle-barrier merge: the whole suite table must be
+# byte-identical between one lane and four
+diff -u shards1.out shards4.out
+
+# the table is the one we expect, not an empty file that trivially diffs
+grep -q '^== workload suite on uniform (n=496)' shards1.out
+for w in reduction broadcast all-reduce pingpong-sweep permutation; do
+  grep -q "^$w " shards1.out
+done
+
+# sharded steady state stays allocation-bounded on the driving domain
+grep -q '^guard PASS$' guard.out

@@ -1,0 +1,39 @@
+(* Allocation guard for the @shard-smoke alias: the sharded run loop's
+   steady-state allocation on the driving domain must stay bounded per
+   shard and per cycle. The phase bodies themselves are allocation-free
+   (per-shard arenas, rings and scratch are all reused), so the only
+   recurring cost is the three pool dispatches of the cycle barrier and
+   the merge cursors — a small constant, independent of traffic. Prints
+   parseable lines for check.sh; the bit-identical equivalence suite
+   lives in test_netsim_ref.ml. *)
+
+let () =
+  let open Xt_topology in
+  let open Xt_netsim in
+  let n = 256 in
+  let host = Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1))) in
+  let sim = Sim.create ~service_rate:1 ~shards:4 host in
+  let on_deliver ~tag:_ _ = () in
+  (* antipodal permutation over a path: enough concurrent traffic that
+     the stepped cycles take the pooled (non-sparse) schedule *)
+  let batch () =
+    for v = 0 to n - 1 do
+      Sim.send sim ~src:v ~dst:((v + (n / 2)) mod n) ~tag:v
+    done;
+    Sim.run sim ~on_deliver
+  in
+  (* warm up: sizes arenas, rings, scratch, outboxes and latency storage *)
+  for _ = 1 to 4 do
+    ignore (batch ())
+  done;
+  Gc.minor ();
+  let before = Gc.minor_words () in
+  let cycles = batch () in
+  let allocated = Gc.minor_words () -. before in
+  let per_shard_cycle =
+    allocated /. float_of_int (max 1 cycles) /. float_of_int (Sim.shards sim)
+  in
+  Printf.printf "shards = %d\n" (Sim.shards sim);
+  Printf.printf "cycles = %d\n" cycles;
+  Printf.printf "run-minor-words-per-shard-cycle = %.1f\n" per_shard_cycle;
+  print_endline (if per_shard_cycle < 512. then "guard PASS" else "guard FAIL")

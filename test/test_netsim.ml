@@ -221,6 +221,126 @@ let test_run_suite_matches_single_runs () =
       checkb (w.Workload.name ^ " inbox mark") true (o.Workload.max_inbox >= 1))
     Workload.workloads outcomes
 
+(* ---------------- sharding: partition and plumbing (ISSUE 8) --------- *)
+
+let test_shard_partition_xtree () =
+  let g = Xtree.graph (Xtree.create ~height:4) in
+  let sim = Sim.create ~shards:4 g in
+  check "shard count" 4 (Sim.shards sim);
+  check "root in shard 0" 0 (Sim.shard_of sim 0);
+  (* wedge partition: the vertex at index i of level l lands in shard
+     i*S / 2^l, so each level is cut into contiguous index bands aligned
+     with the recursive structure *)
+  for l = 0 to 4 do
+    let width = 1 lsl l in
+    let base = width - 1 in
+    for i = 0 to width - 1 do
+      check
+        (Printf.sprintf "level %d index %d" l i)
+        (i * 4 / width)
+        (Sim.shard_of sim (base + i))
+    done
+  done
+
+let test_shard_partition_generic () =
+  let sim = Sim.create ~shards:3 (path_host 10) in
+  check "shard count" 3 (Sim.shards sim);
+  (* fallback: contiguous id ranges, non-decreasing, all shards populated *)
+  let seen = Array.make 3 0 in
+  let prev = ref 0 in
+  for v = 0 to 9 do
+    let s = Sim.shard_of sim v in
+    check (Printf.sprintf "vertex %d" v) (v * 3 / 10) s;
+    checkb "non-decreasing" true (s >= !prev);
+    prev := s;
+    seen.(s) <- seen.(s) + 1
+  done;
+  Array.iteri
+    (fun s c -> checkb (Printf.sprintf "shard %d populated" s) true (c > 0))
+    seen
+
+let test_shard_clamp_and_validate () =
+  check "clamped to n" 2 (Sim.shards (Sim.create ~shards:8 (path_host 2)));
+  check "default is 1" 1 (Sim.shards (Sim.create (path_host 4)));
+  Alcotest.check_raises "shards 0 rejected" (Invalid_argument "Sim.create: shards")
+    (fun () -> ignore (Sim.create ~shards:0 (path_host 4)))
+
+let test_sharded_run_matches () =
+  (* the full equivalence battery lives in test_netsim_ref.ml; this is
+     the quick in-suite version: an embedded all_reduce on an X-tree
+     host must agree exactly across shard settings *)
+  let rng = Xt_prelude.Rng.make ~seed:42 in
+  let t = Gen.uniform rng (Theorem1.optimal_size 4) in
+  let e = (Theorem1.embed t).Theorem1.embedding in
+  let base = Workload.run_embedded ~service_rate:2 Workload.all_reduce e in
+  List.iter
+    (fun shards ->
+      check
+        (Printf.sprintf "all_reduce at shards=%d" shards)
+        base
+        (Workload.run_embedded ~service_rate:2 ~shards Workload.all_reduce e))
+    [ 2; 3; 4 ]
+
+let test_run_suite_sharded_matches () =
+  let t = Gen.complete 31 in
+  let cases = List.map (fun w -> Workload.native_case w t) Workload.workloads in
+  let plain = Workload.run_suite cases in
+  let sharded = Workload.run_suite ~shards:4 ~domains:1 cases in
+  List.iter2
+    (fun (a : Workload.outcome) (b : Workload.outcome) ->
+      let what = a.Workload.case.Workload.label in
+      check (what ^ " cycles") a.Workload.cycles b.Workload.cycles;
+      check (what ^ " delivered") a.Workload.delivered b.Workload.delivered;
+      check (what ^ " hops") a.Workload.hops b.Workload.hops;
+      check (what ^ " max queue") a.Workload.max_queue b.Workload.max_queue;
+      check (what ^ " max inbox") a.Workload.max_inbox b.Workload.max_inbox)
+    plain sharded
+
+(* ---------------- router: dense rows == tree-mode lifting ------------ *)
+
+type route_case = { fname : string; size : int; seed : int }
+
+let print_route_case c = Printf.sprintf "%s(%d) seed=%d" c.fname c.size c.seed
+
+let route_families = [ "complete"; "path"; "caterpillar"; "random-bst"; "uniform"; "skewed" ]
+
+let route_case_gen =
+  QCheck2.Gen.(
+    let* fi = int_bound (List.length route_families - 1) in
+    let* size = map (fun k -> k + 1) (int_bound 63) in
+    let* seed = int_bound 1_000_000 in
+    return { fname = List.nth route_families fi; size; seed })
+
+(* On a tree the shortest path is unique, so the binary-lifting mode and
+   the forced-dense BFS rows must agree on EVERY (current, dst) pair —
+   the guarantee the fault-reroute escape hatch leans on. [warm] on the
+   dense router must be equivalent to lazy row building. *)
+let run_route_case c =
+  let rng = Xt_prelude.Rng.make ~seed:c.seed in
+  let tree = (Gen.family c.fname).generate rng c.size in
+  let g = Workload.guest_graph tree in
+  let lifted = Router.create g in
+  let dense = Router.create ~dense:true g in
+  Router.warm dense;
+  for dst = 0 to c.size - 1 do
+    for cur = 0 to c.size - 1 do
+      if cur <> dst then begin
+        let a = Router.next_hop lifted ~current:cur ~dst in
+        let b = Router.next_hop dense ~current:cur ~dst in
+        if a <> b then
+          Alcotest.failf "%s: next_hop %d->%d: lifted %d, dense %d" (print_route_case c)
+            cur dst a b
+      end;
+      if Router.path_length lifted ~src:cur ~dst <> Router.path_length dense ~src:cur ~dst
+      then Alcotest.failf "%s: path_length %d->%d differs" (print_route_case c) cur dst
+    done
+  done;
+  true
+
+let qcheck_router_modes =
+  QCheck2.Test.make ~count:80 ~name:"router: tree-mode lifting == dense BFS rows"
+    ~print:print_route_case route_case_gen run_route_case
+
 let suite =
   suite
   @ [
@@ -229,4 +349,10 @@ let suite =
       ("service rate models load", `Quick, test_service_rate_models_load);
       ("max inbox queue", `Quick, test_max_inbox_queue);
       ("run_suite matches single runs", `Quick, test_run_suite_matches_single_runs);
+      ("shard partition: x-tree wedges", `Quick, test_shard_partition_xtree);
+      ("shard partition: generic fallback", `Quick, test_shard_partition_generic);
+      ("shard count clamp and validation", `Quick, test_shard_clamp_and_validate);
+      ("sharded run matches unsharded", `Quick, test_sharded_run_matches);
+      ("run_suite sharded matches", `Quick, test_run_suite_sharded_matches);
+      QCheck_alcotest.to_alcotest ~long:false qcheck_router_modes;
     ]
