@@ -87,6 +87,72 @@ let measure_sim_speedup () =
     cycles_identical = fast_cycles = ref_cycles;
   }
 
+(* The embedding-service warmth probe behind the JSON "serve" block: one
+   cold session and one snapshot-warm restart over the same request
+   stream. The hit rates are measured on the stream's first pass over
+   the distinct shapes — near 0% cold, 100% warm — and the responses
+   must be byte-identical across the restart. *)
+type serve_session = {
+  sv_hit_rate : float;
+  sv_loaded : int;
+  sv_rps : float;
+  sv_p50_us : float;
+  sv_p90_us : float;
+  sv_p99_us : float;
+}
+
+type serve_probe = {
+  serve_shapes : int;
+  serve_requests : int;
+  cold : serve_session;
+  warm : serve_session;
+  responses_identical : bool;
+}
+
+let measure_serve_warmth () =
+  let open Xt_serve in
+  let snapshot = Filename.temp_file "xtree-bench-serve" ".xtsm" in
+  Sys.remove snapshot;
+  let config = { Serve.default with Serve.snapshot = Some snapshot } in
+  let k = 8 in
+  let pool = Loadgen.make_shapes ~seed:41 ~count:k ~size:240 in
+  (* a first pass over the distinct shapes (the warmth measurement) plus
+     a skewed tail (the throughput measurement), like table D4 *)
+  let requests =
+    Array.to_list pool @ Loadgen.skewed_stream ~seed:41 ~shapes:pool ~requests:64 ~skew:1.2
+  in
+  let session () =
+    let ((cache, loaded) as state) = Serve.make_state config in
+    let replies = ref [] in
+    let on_reply (r : Loadgen.reply) = replies := r.Loadgen.payload :: !replies in
+    let o, _summary =
+      Serve.in_process ~config ~state (fun ch -> Loadgen.replay ~on_reply ~requests ch)
+    in
+    let s = Xt_core.Theorem1.cache_stats cache in
+    (* every miss is a distinct shape the snapshot did not already hold *)
+    let q = Xt_prelude.Stats.quantiles_of_ints o.Loadgen.rtt_ns in
+    ( {
+        sv_hit_rate = 1. -. (float_of_int s.Xt_prelude.Cache.misses /. float_of_int k);
+        sv_loaded = loaded;
+        sv_rps =
+          float_of_int o.Loadgen.sent /. (float_of_int o.Loadgen.wall_ns /. 1e9);
+        sv_p50_us = q.Xt_prelude.Stats.p50 /. 1e3;
+        sv_p90_us = q.Xt_prelude.Stats.p90 /. 1e3;
+        sv_p99_us = q.Xt_prelude.Stats.p99 /. 1e3;
+      },
+      List.rev !replies )
+  in
+  let cold, cold_replies = session () in
+  let warm, warm_replies = session () in
+  if Sys.file_exists snapshot then Sys.remove snapshot;
+  {
+    serve_shapes = k;
+    serve_requests = List.length requests;
+    cold;
+    warm;
+    responses_identical = cold_replies = warm_replies;
+  }
+
 (* Machine-readable run record. Jobs run sequentially (the parallelism
    is inside each job), so every stage time is the true cost of that
    table at the configured budget and the sum matches the wall clock up
@@ -94,7 +160,7 @@ let measure_sim_speedup () =
    job loop went sequential) is kept for comparability with earlier
    records; [speedup_estimate_reliable] records whether the machine has
    a core per domain, without which intra-job parallelism time-slices. *)
-let write_json file ~jobs_flag ~smoke ~wall ~sim timings =
+let write_json file ~jobs_flag ~smoke ~wall ~sim ~serve timings =
   let sum = List.fold_left (fun acc t -> acc +. t.Tables.seconds) 0. timings in
   let cores = Domain.recommended_domain_count () in
   let domains = Xt_prelude.Parallel.domain_budget () in
@@ -134,6 +200,26 @@ let write_json file ~jobs_flag ~smoke ~wall ~sim timings =
       Printf.fprintf oc "    \"speedup\": %.2f,\n"
         (if s.active_set_seconds > 0. then s.ref_core_seconds /. s.active_set_seconds else 0.);
       Printf.fprintf oc "    \"cycles_identical\": %b\n" s.cycles_identical;
+      Printf.fprintf oc "  },\n");
+  (match serve with
+  | None -> ()
+  | Some p ->
+      let session name s tail =
+        Printf.fprintf oc "    \"%s\": {\n" name;
+        Printf.fprintf oc "      \"first_pass_hit_rate\": %.3f,\n" s.sv_hit_rate;
+        Printf.fprintf oc "      \"snapshot_loaded\": %d,\n" s.sv_loaded;
+        Printf.fprintf oc "      \"rps\": %.0f,\n" s.sv_rps;
+        Printf.fprintf oc "      \"p50_us\": %.1f,\n" s.sv_p50_us;
+        Printf.fprintf oc "      \"p90_us\": %.1f,\n" s.sv_p90_us;
+        Printf.fprintf oc "      \"p99_us\": %.1f\n" s.sv_p99_us;
+        Printf.fprintf oc "    }%s\n" tail
+      in
+      Printf.fprintf oc "  \"serve\": {\n";
+      Printf.fprintf oc "    \"shapes\": %d,\n" p.serve_shapes;
+      Printf.fprintf oc "    \"requests\": %d,\n" p.serve_requests;
+      session "cold" p.cold ",";
+      session "warm" p.warm ",";
+      Printf.fprintf oc "    \"responses_identical\": %b\n" p.responses_identical;
       Printf.fprintf oc "  },\n");
   Printf.fprintf oc "  \"sum_seconds\": %.6f,\n" sum;
   Printf.fprintf oc "  \"wall_seconds\": %.6f,\n" wall;
@@ -288,6 +374,9 @@ let () =
     (* Metrics are still off here, so the speedup replays leave no
        trace in the counters block below. *)
     let sim = if json_file <> None && not smoke then Some (measure_sim_speedup ()) else None in
+    let serve =
+      if json_file <> None && not smoke then Some (measure_serve_warmth ()) else None
+    in
     (* The JSON record carries the work counters, so count while the
        tables run; without --json the harness stays instrumentation-free. *)
     if json_file <> None then Xt_obs.Obs.enable_metrics ();
@@ -307,7 +396,7 @@ let () =
     | Some file -> append_history file ~jobs_flag ~smoke ~wall timings
     | None -> ());
     (match json_file with
-    | Some file -> write_json file ~jobs_flag ~smoke ~wall ~sim timings
+    | Some file -> write_json file ~jobs_flag ~smoke ~wall ~sim ~serve timings
     | None -> ());
     match baseline_file with
     | Some bfile ->

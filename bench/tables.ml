@@ -12,6 +12,7 @@ open Xt_embedding
 open Xt_core
 open Xt_baseline
 open Xt_netsim
+open Xt_serve
 
 let families = [ "complete"; "path"; "caterpillar"; "random-bst"; "uniform"; "skewed" ]
 
@@ -1077,6 +1078,83 @@ let d3_parallel_scaling () =
     [ (10, [ 1; 2; 4 ]); (12, [ 1; 2; 4 ]); (14, [ 4 ]) ];
   t
 
+let d4_serve_latency () =
+  let t =
+    Tab.create
+      ~title:
+        "D4  Embedding service: cold start vs snapshot-warm restart (first-pass hit rate, throughput, RTT quantiles)"
+      [
+        "n"; "shapes"; "requests"; "session"; "loaded"; "first-pass hits";
+        "rps"; "p50 us"; "p90 us"; "p99 us"; "identical";
+      ]
+  in
+  List.iter
+    (fun (size, k, total) ->
+      let snapshot = Filename.temp_file "xtree-d4" ".xtsm" in
+      (* the cold session must find no snapshot on disk *)
+      Sys.remove snapshot;
+      let config = { Serve.default with Serve.snapshot = Some snapshot } in
+      let seed = Hashtbl.hash ("d4", size) in
+      let pool = Loadgen.make_shapes ~seed ~count:k ~size in
+      (* Two replays per session over one connection: the first pass
+         sends each distinct shape once — its hit rate is the warmth
+         measurement (a cold cache misses every shape, a snapshot-warm
+         one hits every shape) — then a skewed tail measures the
+         steady-state request rate and RTT quantiles. *)
+      let first_pass = Array.to_list pool in
+      let tail = Loadgen.skewed_stream ~seed ~shapes:pool ~requests:total ~skew:1.2 in
+      let session () =
+        let ((cache, loaded) as state) = Serve.make_state config in
+        let replies = ref [] in
+        let on_reply (r : Loadgen.reply) = replies := r.Loadgen.payload :: !replies in
+        let (warmth, o1, o2), _summary =
+          Serve.in_process ~config ~state (fun ch ->
+              let o1 = Loadgen.replay ~window:32 ~on_reply ~requests:first_pass ch in
+              (* the replay has read every first-pass response, so the
+                 server has finished counting its misses: each one is a
+                 distinct shape the snapshot did not already hold *)
+              let s = Theorem1.cache_stats cache in
+              let hit_rate =
+                1. -. (float_of_int s.Cache.misses /. float_of_int k)
+              in
+              (hit_rate, o1, Loadgen.replay ~window:32 ~on_reply ~requests:tail ch))
+        in
+        (loaded, warmth, o1, o2, List.rev !replies)
+      in
+      (* lets, not a list literal: the cold session must run first *)
+      let cold = session () in
+      let warm = session () in
+      let _, _, _, _, cold_replies = cold in
+      List.iter
+        (fun (label, (loaded, warmth, (o1 : Loadgen.outcome), (o2 : Loadgen.outcome), replies)) ->
+          (* rps and RTT quantiles cover the whole session — first pass
+             plus skewed tail — so a cold restart pays its re-embedding
+             in these columns and a warm one doesn't *)
+          let rtt = Array.append o1.Loadgen.rtt_ns o2.Loadgen.rtt_ns in
+          let q = Stats.quantiles_of_ints rtt in
+          let sent = o1.Loadgen.sent + o2.Loadgen.sent in
+          let wall_s = float_of_int (o1.Loadgen.wall_ns + o2.Loadgen.wall_ns) /. 1e9 in
+          let cell v = if !live_timings then Printf.sprintf "%.1f" v else "-" in
+          Tab.add_row t
+            [
+              string_of_int size;
+              string_of_int k;
+              string_of_int (k + total);
+              label;
+              string_of_int loaded;
+              Printf.sprintf "%.1f%%" (100. *. warmth);
+              (if !live_timings then Printf.sprintf "%.0f" (float_of_int sent /. wall_s)
+               else "-");
+              cell (q.Stats.p50 /. 1e3);
+              cell (q.Stats.p90 /. 1e3);
+              cell (q.Stats.p99 /. 1e3);
+              string_of_bool (replies = cold_replies);
+            ])
+        [ ("cold", cold); ("warm", warm) ];
+      if Sys.file_exists snapshot then Sys.remove snapshot)
+    [ (496, 12, 120); (1008, 16, 160) ];
+  t
+
 (* ------------------------------------------------------------------ *)
 (* Job registry: every table as an independent, order-free job. [smoke]
    marks the cheap ones the @bench-smoke alias runs in a few seconds. *)
@@ -1116,6 +1194,7 @@ let jobs =
     { name = "D1"; smoke = false; table = d1_dedup };
     { name = "D2"; smoke = false; table = d2_sim_throughput };
     { name = "D3"; smoke = false; table = d3_parallel_scaling };
+    { name = "D4"; smoke = false; table = d4_serve_latency };
   ]
 
 type timing = { job : string; seconds : float; minor_words : int; major_words : int }

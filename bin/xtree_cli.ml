@@ -12,6 +12,7 @@ open Xt_embedding
 open Xt_core
 open Xt_baseline
 open Xt_netsim
+open Xt_serve
 
 (* ---------------- shared arguments ---------------- *)
 
@@ -737,6 +738,271 @@ let trace_cmd =
   let doc = "Trace analytics over exported Chrome traces." in
   Cmd.group (Cmd.info "trace" ~doc) [ report_cmd ]
 
+(* ---------------- serve / loadgen ---------------- *)
+
+let cache_entries_arg =
+  let doc = "Shape-cache capacity in entries." in
+  Arg.(value & opt int 4096 & info [ "cache-entries" ] ~docv:"N" ~doc)
+
+let cache_bytes_arg =
+  let doc = "Shape-cache byte bound (default unlimited)." in
+  Arg.(value & opt (some int) None & info [ "cache-bytes" ] ~docv:"BYTES" ~doc)
+
+let snapshot_arg =
+  let doc =
+    "Persist the shape cache to $(docv): restored at startup, flushed atomically \
+     at EOF (and periodically with $(b,--snapshot-every)), so a restarted server \
+     resumes warm."
+  in
+  Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"FILE" ~doc)
+
+let snapshot_every_arg =
+  let doc = "Also flush the snapshot every $(docv) requests (0: at EOF only)." in
+  Arg.(value & opt int 0 & info [ "snapshot-every" ] ~docv:"N" ~doc)
+
+let serve_run capacity cache_entries cache_bytes snapshot snapshot_every batch status
+    socket max_conns jobs tm =
+  (match jobs with Some n -> Parallel.set_domain_budget n | None -> ());
+  obs_begin tm;
+  let config =
+    {
+      Serve.capacity;
+      cache_entries;
+      cache_bytes;
+      snapshot;
+      snapshot_every;
+      max_batch = batch;
+      status;
+    }
+  in
+  (match socket with
+  | Some path -> Serve.listen ~config ?max_conns ~path ()
+  | None ->
+      set_binary_mode_in stdin true;
+      set_binary_mode_out stdout true;
+      let s = Serve.run ~config stdin stdout in
+      if status then
+        Printf.eprintf "serve: done requests=%d batches=%d errors=%d loaded=%d saved=%d\n%!"
+          s.Serve.requests s.Serve.batches s.Serve.errors s.Serve.loaded s.Serve.saved);
+  obs_end tm
+
+let serve_cmd =
+  let doc =
+    "Run a persistent embedding service: length-framed Codec requests in, framed \
+     placements out (stdin/stdout by default, or a Unix socket), all sharing one \
+     shape cache across the whole run."
+  in
+  let socket =
+    let doc = "Listen on a Unix-domain socket at $(docv) instead of stdin/stdout." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let max_conns =
+    let doc = "With $(b,--socket): exit after $(docv) connections (default: serve forever)." in
+    Arg.(value & opt (some int) None & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let batch =
+    let doc = "Embed at most $(docv) buffered requests at once." in
+    Arg.(value & opt int 512 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let status =
+    let doc = "Print a per-batch status line (with cache stats) on stderr." in
+    Arg.(value & flag & info [ "status" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const serve_run $ capacity_arg $ cache_entries_arg $ cache_bytes_arg $ snapshot_arg
+      $ snapshot_every_arg $ batch $ status $ socket $ max_conns $ jobs_arg
+      $ telemetry_term)
+
+(* Decode and pretty-print one reply in the embed-batch line format, so a
+   [loadgen --print] replay byte-diffs against [embed-batch] on the same
+   stream. The host X-tree is rebuilt once per distinct height. *)
+let print_reply () =
+  let hosts = Hashtbl.create 4 in
+  fun (r : Loadgen.reply) ->
+    match Wire.decode_response r.payload with
+    | Error msg -> Printf.printf "%d: error %s\n" r.Loadgen.index msg
+    | Ok resp ->
+        let t =
+          match Codec.of_string r.Loadgen.request with
+          | Ok t -> t
+          | Error msg ->
+              Printf.eprintf "loadgen: unparsable request %d: %s\n" r.Loadgen.index msg;
+              exit 2
+        in
+        let xt =
+          match Hashtbl.find_opt hosts resp.Wire.height with
+          | Some xt -> xt
+          | None ->
+              let xt = Xtree.create ~height:resp.Wire.height in
+              Hashtbl.add hosts resp.Wire.height xt;
+              xt
+        in
+        let e = Embedding.make ~tree:t ~host:(Xtree.graph xt) ~place:resp.Wire.place in
+        Printf.printf "%d: n=%d dilation=%d load=%d host=X(%d)\n" r.Loadgen.index
+          (Bintree.n t)
+          (Embedding.dilation ~dist:(Xtree.distance xt) e)
+          (Embedding.load e) resp.Wire.height
+
+let loadgen_run requests shapes size skew seed window out codec_out replay_file connect
+    capacity cache_entries snapshot snapshot_every print_lines jobs tm =
+  (match jobs with Some n -> Parallel.set_domain_budget n | None -> ());
+  obs_begin tm;
+  let stream =
+    match replay_file with
+    | Some file -> In_channel.with_open_bin file Loadgen.read_requests
+    | None ->
+        let pool = Loadgen.make_shapes ~seed ~count:shapes ~size in
+        Loadgen.skewed_stream ~seed ~shapes:pool ~requests ~skew
+  in
+  (match codec_out with
+  | Some file ->
+      Out_channel.with_open_text file (fun oc ->
+          List.iter
+            (fun p ->
+              output_string oc p;
+              output_char oc '\n')
+            stream)
+  | None -> ());
+  (match out with
+  | Some file ->
+      Out_channel.with_open_bin file (fun oc -> Loadgen.write_requests oc stream);
+      Printf.printf "loadgen: wrote %d requests (%d shapes, size %d) to %s\n"
+        (List.length stream) shapes size file
+  | None ->
+      let on_reply = if print_lines then Some (print_reply ()) else None in
+      let replay ch = Loadgen.replay ~window ?on_reply ~requests:stream ch in
+      let outcome =
+        match connect with
+        | Some path ->
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX path);
+            let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+            set_binary_mode_in ic true;
+            set_binary_mode_out oc true;
+            Fun.protect
+              ~finally:(fun () -> Unix.close fd)
+              (fun () ->
+                let o = replay (ic, oc) in
+                flush oc;
+                Unix.shutdown fd Unix.SHUTDOWN_SEND;
+                o)
+        | None ->
+            (* Spawn this executable as the server child over a pipe pair;
+               closing its stdin ends the session. *)
+            let args =
+              [ "xtree"; "serve"; "--capacity"; string_of_int capacity;
+                "--cache-entries"; string_of_int cache_entries ]
+              @ (match snapshot with Some f -> [ "--snapshot"; f ] | None -> [])
+              @
+              if snapshot_every > 0 then
+                [ "--snapshot-every"; string_of_int snapshot_every ]
+              else []
+            in
+            (* cloexec so the child inherits only the ends dup'd onto its
+               stdin/stdout — holding a copy of req_w would stop it from
+               ever seeing EOF. *)
+            let req_r, req_w = Unix.pipe ~cloexec:true () in
+            let resp_r, resp_w = Unix.pipe ~cloexec:true () in
+            let pid =
+              Unix.create_process Sys.executable_name (Array.of_list args) req_r resp_w
+                Unix.stderr
+            in
+            Unix.close req_r;
+            Unix.close resp_w;
+            let ic = Unix.in_channel_of_descr resp_r in
+            let oc = Unix.out_channel_of_descr req_w in
+            set_binary_mode_in ic true;
+            set_binary_mode_out oc true;
+            let o = replay (ic, oc) in
+            close_out oc;
+            ignore (Unix.waitpid [] pid);
+            close_in_noerr ic;
+            o
+      in
+      if print_lines then begin
+        (* Mirror embed-batch's trailer so the outputs byte-diff. *)
+        let seen = Hashtbl.create 64 in
+        List.iter
+          (fun p ->
+            match Codec.of_string p with
+            | Ok t ->
+                let key = Fingerprint.canonical_key t in
+                if not (Hashtbl.mem seen key) then Hashtbl.add seen key ()
+            | Error _ -> ())
+          stream;
+        Printf.printf "batch: trees=%d unique=%d\n" (List.length stream)
+          (Hashtbl.length seen)
+      end;
+      if outcome.Loadgen.sent > 0 then begin
+        let q = Stats.quantiles_of_ints outcome.Loadgen.rtt_ns in
+        let wall_s = float_of_int outcome.Loadgen.wall_ns /. 1e9 in
+        Printf.eprintf
+          "loadgen: requests=%d errors=%d wall_ms=%.1f rps=%.0f p50_us=%.1f p90_us=%.1f \
+           p99_us=%.1f\n\
+           %!"
+          outcome.Loadgen.sent outcome.Loadgen.errors (wall_s *. 1e3)
+          (float_of_int outcome.Loadgen.sent /. wall_s)
+          (q.Stats.p50 /. 1e3) (q.Stats.p90 /. 1e3) (q.Stats.p99 /. 1e3)
+      end);
+  obs_end tm
+
+let loadgen_cmd =
+  let doc =
+    "Generate a shape-skewed request stream and replay it against an embedding \
+     server (a spawned $(b,xtree serve) child by default, or $(b,--connect) to a \
+     socket), reporting requests/sec and RTT quantiles on stderr."
+  in
+  let requests =
+    let doc = "Number of requests to generate." in
+    Arg.(value & opt int 256 & info [ "r"; "requests" ] ~docv:"N" ~doc)
+  in
+  let shapes =
+    let doc = "Size of the distinct-shape pool the stream draws from." in
+    Arg.(value & opt int 16 & info [ "shapes" ] ~docv:"K" ~doc)
+  in
+  let skew =
+    let doc =
+      "Shape skew: 0 samples the pool uniformly, larger values concentrate \
+       requests on a hot subset."
+    in
+    Arg.(value & opt float 1.0 & info [ "skew" ] ~docv:"S" ~doc)
+  in
+  let window =
+    let doc = "Requests in flight per window (each window ends in a flush marker)." in
+    Arg.(value & opt int 64 & info [ "window" ] ~docv:"W" ~doc)
+  in
+  let out =
+    let doc = "Write the framed request stream to $(docv) and exit (no replay)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let codec_out =
+    let doc =
+      "Also write the stream as Codec lines to $(docv) — the same requests in \
+       $(b,embed-batch) input format, for equivalence checks."
+    in
+    Arg.(value & opt (some string) None & info [ "codec-out" ] ~docv:"FILE" ~doc)
+  in
+  let replay_file =
+    let doc = "Replay the framed request file $(docv) instead of generating a stream." in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let connect =
+    let doc = "Connect to a running server's Unix socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"PATH" ~doc)
+  in
+  let print_lines =
+    let doc = "Print one embed-batch-format line per response on stdout." in
+    Arg.(value & flag & info [ "print" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "loadgen" ~doc)
+    Term.(
+      const loadgen_run $ requests $ shapes $ size_arg $ skew $ seed_arg $ window $ out
+      $ codec_out $ replay_file $ connect $ capacity_arg $ cache_entries_arg
+      $ snapshot_arg $ snapshot_every_arg $ print_lines $ jobs_arg $ telemetry_term)
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -755,6 +1021,8 @@ let () =
             generate_cmd;
             embed_cmd;
             embed_batch_cmd;
+            serve_cmd;
+            loadgen_cmd;
             hypercube_cmd;
             universal_cmd;
             simulate_cmd;

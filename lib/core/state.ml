@@ -100,6 +100,14 @@ let lay st ~max_level ~node ~vertex =
       if st.strict then invalid_arg "State.lay: confined placement overflowed";
       st.fallbacks <- st.fallbacks + 1;
       let v = nearest_free st ~max_level ~from_:vertex in
+      (* Tight capacities (e.g. 4) can exhaust every level the round is
+         allowed to touch while deeper levels still have slack; diverting
+         below [max_level] costs dilation but keeps the load bound and
+         places every node, where raising would abandon the embedding. *)
+      let v =
+        if v >= 0 then v
+        else nearest_free st ~max_level:(Xtree.height st.xt) ~from_:vertex
+      in
       if v < 0 then invalid_arg "State.lay: host is full";
       v
     end

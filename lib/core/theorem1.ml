@@ -373,6 +373,35 @@ type cache = cache_meta Shape_memo.t
 let make_cache ?shards ?capacity ?max_bytes () = Shape_memo.create ?shards ?capacity ?max_bytes ()
 
 let cache_length = Shape_memo.length
+let cache_stats = Shape_memo.stats
+
+(* Snapshot meta codec: the host [Xtree.t] is fully determined by its
+   height, so only the three integers travel; reloads rebuild the host
+   once per distinct height and share it across entries, exactly as the
+   live cache shares it across hits. *)
+let encode_cache_meta m = Printf.sprintf "%d %d %d" m.m_height m.m_fallbacks m.m_wide
+
+let make_cache_meta_decoder () =
+  let hosts = Hashtbl.create 4 in
+  fun s ->
+    match Scanf.sscanf s " %d %d %d %!" (fun h f w -> (h, f, w)) with
+    | exception _ -> None
+    | h, f, w when h >= 0 && f >= 0 && w >= 0 ->
+        let xt =
+          match Hashtbl.find_opt hosts h with
+          | Some xt -> xt
+          | None ->
+              let xt = Xtree.create ~height:h in
+              Hashtbl.add hosts h xt;
+              xt
+        in
+        Some { m_xt = xt; m_height = h; m_fallbacks = f; m_wide = w }
+    | _ -> None
+
+let cache_save cache ~file = Shape_memo.save cache ~encode_meta:encode_cache_meta ~file
+
+let cache_load cache ~file =
+  Shape_memo.load cache ~decode_meta:(make_cache_meta_decoder ()) ~file
 
 let flag b = if b then 't' else 'f'
 

@@ -48,6 +48,22 @@ val make_cache : ?shards:int -> ?capacity:int -> ?max_bytes:int -> unit -> cache
 
 val cache_length : cache -> int
 
+val cache_stats : cache -> Xt_prelude.Cache.stats
+(** Per-instance hit/miss/eviction/occupancy totals of the memo. *)
+
+val cache_save : cache -> file:string -> int
+(** Snapshot the memo to [file] (atomic rename-on-write, versioned
+    header, per-entry checksum; see {!Xt_embedding.Shape_memo.save}).
+    Returns the entry count written. Only the host height travels in the
+    entry metadata — the [Xtree.t] is rebuilt (and shared per height) on
+    load. *)
+
+val cache_load : cache -> file:string -> (int, string) Stdlib.result
+(** Restore a snapshot written by {!cache_save} into the memo; returns
+    the entry count, or [Error] (atomically, inserting nothing) on a
+    missing/corrupt/mis-versioned file. Hits on restored entries are
+    bit-identical to hits on the original process's live entries. *)
+
 val embed :
   ?capacity:int ->
   ?height:int ->

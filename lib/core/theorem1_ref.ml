@@ -396,6 +396,13 @@ module St = struct
       else begin
         st.fallbacks <- st.fallbacks + 1;
         let v = nearest_free st ~max_level ~from_:vertex in
+        (* Mirrors State.lay: when every level the round may touch is
+           exhausted, divert below [max_level] rather than abandoning the
+           embedding — dilation grows but the load bound holds. *)
+        let v =
+          if v >= 0 then v
+          else nearest_free st ~max_level:(Xtree.height st.xt) ~from_:vertex
+        in
         if v < 0 then invalid_arg "State.lay: host is full";
         v
       end

@@ -37,3 +37,146 @@ let memo t ~prefix ~tree ~compute =
 
 let length = Cache.length
 let clear = Cache.clear
+let stats = Cache.stats
+
+(* -------------------------------------------------------------------- *)
+(* Snapshot codec.
+
+   Layout (all integers little-endian, fixed width):
+
+     "XTSM" | u32 version | u32 entry count
+     repeated per entry:
+       u32 body length | body | u64 FNV-1a checksum of the body
+     body:
+       u32 key length | key | u32 canon length | canon
+       u32 meta length | meta | u32 n | n x i32 cplace
+
+   The whole file is parsed and verified before the first insertion, so
+   a truncated or corrupted snapshot rejects atomically and leaves the
+   memo untouched. *)
+
+let magic = "XTSM"
+let version = 1
+
+(* 64-bit FNV-1a; Int64 keeps the wrap-around exact. *)
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+let encode_entry buf ~key ~encode_meta e =
+  let body = Buffer.create (String.length key + String.length e.canon + 64) in
+  let str s =
+    Buffer.add_int32_le body (Int32.of_int (String.length s));
+    Buffer.add_string body s
+  in
+  str key;
+  str e.canon;
+  str (encode_meta e.meta);
+  Buffer.add_int32_le body (Int32.of_int (Array.length e.cplace));
+  Array.iter (fun p -> Buffer.add_int32_le body (Int32.of_int p)) e.cplace;
+  let body = Buffer.contents body in
+  Buffer.add_int32_le buf (Int32.of_int (String.length body));
+  Buffer.add_string buf body;
+  Buffer.add_int64_le buf (fnv1a body)
+
+let save t ~encode_meta ~file =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_int32_le buf (Int32.of_int version);
+  let entries =
+    (* Least recent first per shard (Cache.fold order): re-adding in file
+       order on load reproduces the recency order. *)
+    Cache.fold t ~init:[] ~f:(fun acc ~key ~bytes:_ e -> (key, e) :: acc)
+  in
+  let entries = List.rev entries in
+  Buffer.add_int32_le buf (Int32.of_int (List.length entries));
+  List.iter (fun (key, e) -> encode_entry buf ~key ~encode_meta e) entries;
+  let dir = Filename.dirname file in
+  let tmp, oc = Filename.open_temp_file ~temp_dir:dir ~mode:[ Open_binary ] ".xtsm" ".tmp" in
+  (try
+     Buffer.output_buffer oc buf;
+     close_out oc;
+     Sys.rename tmp file
+   with exn ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise exn);
+  List.length entries
+
+exception Bad of string
+
+let load t ~decode_meta ~file =
+  match
+    let s = In_channel.with_open_bin file In_channel.input_all in
+    let len = String.length s in
+    let pos = ref 0 in
+    let need n what = if !pos + n > len then raise (Bad ("truncated " ^ what)) in
+    let u32 what =
+      need 4 what;
+      let v = Int32.to_int (String.get_int32_le s !pos) in
+      pos := !pos + 4;
+      if v < 0 then raise (Bad ("negative length in " ^ what));
+      v
+    in
+    need 4 "header";
+    if String.sub s 0 4 <> magic then raise (Bad "bad magic");
+    pos := 4;
+    let v = u32 "header" in
+    if v <> version then raise (Bad (Printf.sprintf "unsupported version %d" v));
+    let count = u32 "header" in
+    let parsed = ref [] in
+    for _ = 1 to count do
+      let body_len = u32 "entry frame" in
+      need body_len "entry body";
+      let body = String.sub s !pos body_len in
+      pos := !pos + body_len;
+      need 8 "entry checksum";
+      let sum = String.get_int64_le s !pos in
+      pos := !pos + 8;
+      if not (Int64.equal sum (fnv1a body)) then raise (Bad "entry checksum mismatch");
+      (* Re-parse the verified body with its own cursor. *)
+      let bpos = ref 0 in
+      let bneed n = if !bpos + n > body_len then raise (Bad "malformed entry body") in
+      let bu32 () =
+        bneed 4;
+        let v = Int32.to_int (String.get_int32_le body !bpos) in
+        bpos := !bpos + 4;
+        if v < 0 then raise (Bad "malformed entry body");
+        v
+      in
+      let bstr () =
+        let n = bu32 () in
+        bneed n;
+        let r = String.sub body !bpos n in
+        bpos := !bpos + n;
+        r
+      in
+      let key = bstr () in
+      let canon = bstr () in
+      let meta_s = bstr () in
+      let n = bu32 () in
+      bneed (4 * n);
+      let cplace =
+        Array.init n (fun i -> Int32.to_int (String.get_int32_le body (!bpos + (4 * i))))
+      in
+      bpos := !bpos + (4 * n);
+      if !bpos <> body_len then raise (Bad "malformed entry body");
+      let meta =
+        match decode_meta meta_s with
+        | Some m -> m
+        | None -> raise (Bad "undecodable entry metadata")
+      in
+      parsed := (key, { canon; cplace; meta }) :: !parsed
+    done;
+    if !pos <> len then raise (Bad "trailing bytes");
+    List.rev !parsed
+  with
+  | entries ->
+      List.iter (fun (key, e) -> Cache.add t ~bytes:(entry_bytes e) key e) entries;
+      Ok (List.length entries)
+  | exception Bad msg -> Error msg
+  | exception Sys_error msg -> Error msg

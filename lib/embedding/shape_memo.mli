@@ -45,3 +45,25 @@ val memo :
 
 val length : 'meta t -> int
 val clear : 'meta t -> unit
+
+val stats : 'meta t -> Xt_prelude.Cache.stats
+(** Per-instance hit/miss/eviction/occupancy totals. *)
+
+val save : 'meta t -> encode_meta:('meta -> string) -> file:string -> int
+(** Write a snapshot of every resident entry to [file] and return the
+    entry count. The snapshot carries a versioned header and a 64-bit
+    FNV-1a checksum per entry, and is written to a temporary file in the
+    same directory then renamed into place, so readers never observe a
+    half-written file. Entries are emitted least recently used first
+    within each shard; loading in file order reproduces the recency
+    order. [encode_meta] must round-trip with the [decode_meta] passed
+    to {!load}. *)
+
+val load : 'meta t -> decode_meta:(string -> 'meta option) -> file:string -> (int, string) result
+(** Parse and verify the entire snapshot, then insert every entry into
+    the memo; returns the entry count. Rejection is atomic: a missing
+    file, bad magic, wrong version, truncation, checksum mismatch or
+    undecodable metadata yields [Error] and leaves the memo untouched.
+    Placements restored from a snapshot are byte-identical to the ones
+    stored, so hits after a reload return exactly what the saving
+    process would have returned. *)

@@ -139,6 +139,16 @@ type t = {
   mutable delivered : int;
   mutable latencies : int array;  (* first [nlat] entries, delivery order *)
   mutable nlat : int;
+  (* Adaptive sparse-cycle cutoff (see [step_par]): the phase bodies time
+     themselves into [busy_ns] when [measure_cycle] is set — on every
+     metered cycle, plus a 1-in-64 sample otherwise — and the EWMA cost
+     models below turn those samples into the break-even active-queue
+     count for a pool dispatch. *)
+  mutable measure_cycle : bool;
+  mutable cutoff_active : int;    (* dispatch to the pool at >= this many active queues *)
+  mutable barrier_ns : int;       (* EWMA dispatch overhead: wall minus critical lane *)
+  mutable queue_ns : int;         (* EWMA inline cost per active queue *)
+  mutable sample_tick : int;
 }
 
 type handler = tag:int -> t -> unit
@@ -404,7 +414,7 @@ let push_quad sh tgt l dst tag sent =
    shard. Links drained dry drop out of the active set in place. *)
 let phase_links t s =
   let sh = t.shards.(s) in
-  let t0 = if Obs.metrics_enabled () then Obs.now_ns () else 0 in
+  let t0 = if t.measure_cycle then Obs.now_ns () else 0 in
   if sh.n_act_link > 1 then sort_range sh.act_link 0 (sh.n_act_link - 1);
   sh.nmoved <- 0;
   sh.nboundary <- 0;
@@ -451,7 +461,7 @@ let phase_links t s =
    back to zero is safe: distinct lanes touch distinct indices. *)
 let phase_boundary t s =
   let sh = t.shards.(s) in
-  let t0 = if Obs.metrics_enabled () then Obs.now_ns () else 0 in
+  let t0 = if t.measure_cycle then Obs.now_ns () else 0 in
   for src = 0 to t.nshards - 1 do
     let o = t.shards.(src) in
     let len = o.out_len.(s) in
@@ -474,7 +484,7 @@ let phase_boundary t s =
    [deliver_merged]). *)
 let phase_service t s =
   let sh = t.shards.(s) in
-  let t0 = if Obs.metrics_enabled () then Obs.now_ns () else 0 in
+  let t0 = if t.measure_cycle then Obs.now_ns () else 0 in
   if sh.n_act_inbox > 1 then sort_range sh.act_inbox 0 (sh.n_act_inbox - 1);
   sh.nserved <- 0;
   sh.nkeep <- 0;
@@ -597,8 +607,24 @@ let step_seq t ~on_deliver =
 (* Sparse cycles (a handful of active queues per shard) run the phase
    bodies inline in lane order — same writes, same results, no pool
    dispatch. The cutoff only picks who executes the lanes, never what
-   they compute, so determinism is unaffected. *)
-let sparse_cutoff = 16
+   they compute, so determinism is unaffected.
+
+   Where to put the cutoff is a cost question, so it is answered with
+   measured costs instead of a constant: sampled cycles (all metered
+   ones, plus 1 in 64 otherwise) time their phase work per lane, and two
+   EWMA estimates accumulate — [barrier_ns], what a pool dispatch costs
+   beyond its critical lane (wall minus max lane busy, the quantity the
+   [netsim.shard.barrier_wait_ns] histogram reports per lane), and
+   [queue_ns], what one active queue costs inline. Dispatching S lanes
+   saves at most busy·(S-1)/S ≈ active·queue_ns·(S-1)/S and pays
+   [barrier_ns], so the break-even point is
+   active ≈ barrier_ns·S / (queue_ns·(S-1)). Until both estimates have a
+   sample the cutoff stays at the historical 16·S prior; it is clamped
+   to [2·S, 1024·S] so one outlier sample can never pin the simulation
+   to either path. *)
+let initial_sparse_cutoff = 16
+
+let ewma old sample = if old = 0 then sample else old + ((sample - old) / 8)
 
 let step_par t ~on_deliver =
   t.cycle <- t.cycle + 1;
@@ -608,8 +634,12 @@ let step_par t ~on_deliver =
     active := !active + sh.n_act_link + sh.n_act_inbox
   done;
   let metered = Obs.metrics_enabled () in
-  let t0 = if metered then Obs.now_ns () else 0 in
-  if !active < sparse_cutoff * t.nshards then
+  t.sample_tick <- t.sample_tick + 1;
+  let timed = metered || t.sample_tick land 63 = 0 in
+  t.measure_cycle <- timed;
+  let t0 = if timed then Obs.now_ns () else 0 in
+  let dispatched = !active >= t.cutoff_active in
+  if not dispatched then
     List.iter
       (fun phase ->
         for s = 0 to t.nshards - 1 do
@@ -617,15 +647,29 @@ let step_par t ~on_deliver =
         done)
       t.phases
   else Parallel.phased ~lanes:t.nshards t.phases;
-  if metered then begin
-    (* a lane's barrier wait is the cycle's wall time minus its own work *)
+  if timed then begin
     let wall = Obs.now_ns () - t0 in
+    let busy_max = ref 0 in
     for s = 0 to t.nshards - 1 do
       let sh = t.shards.(s) in
-      let w = wall - sh.busy_ns in
-      Obs.observe h_barrier_wait (if w < 0 then 0 else w);
+      if sh.busy_ns > !busy_max then busy_max := sh.busy_ns;
+      if metered && dispatched then begin
+        (* a lane's barrier wait is the cycle's wall time minus its own work *)
+        let w = wall - sh.busy_ns in
+        Obs.observe h_barrier_wait (if w < 0 then 0 else w)
+      end;
       sh.busy_ns <- 0
-    done
+    done;
+    if dispatched then begin
+      let over = wall - !busy_max in
+      if over > 0 then t.barrier_ns <- ewma t.barrier_ns over
+    end
+    else if !active > 0 then t.queue_ns <- ewma t.queue_ns (max 1 (wall / !active));
+    if t.barrier_ns > 0 && t.queue_ns > 0 then begin
+      let s = t.nshards in
+      let c = t.barrier_ns * s / (t.queue_ns * max 1 (s - 1)) in
+      t.cutoff_active <- min (max c (2 * s)) (1024 * s)
+    end
   end;
   let moved = ref 0 and boundary = ref 0 in
   for s = 0 to t.nshards - 1 do
@@ -787,6 +831,11 @@ let create ?(link_capacity = 1) ?(service_rate = max_int) ?(shards = 1) graph =
       delivered = 0;
       latencies = [||];
       nlat = 0;
+      measure_cycle = false;
+      cutoff_active = initial_sparse_cutoff * nshards;
+      barrier_ns = 0;
+      queue_ns = 0;
+      sample_tick = 0;
     }
   in
   t.phases <- [ phase_links t; phase_boundary t; phase_service t ];
@@ -809,6 +858,7 @@ let max_inbox_queue t =
 let link_loads t = Array.copy t.link_load
 let latencies t = Array.sub t.latencies 0 t.nlat
 let shards t = t.nshards
+let sparse_cutoff t = t.cutoff_active
 
 let shard_of t v =
   if v < 0 || v >= Graph.n t.graph then invalid_arg "Sim.shard_of: vertex out of range";

@@ -94,6 +94,17 @@ val latencies : t -> int array
 val shards : t -> int
 (** The number of shards the host was partitioned into (>= 1). *)
 
+val sparse_cutoff : t -> int
+(** The current active-queue count at which a stepped cycle dispatches
+    to the domain pool rather than running its lanes inline. Sized from
+    measured costs: sampled cycles feed EWMA estimates of the pool
+    dispatch overhead (the quantity behind [netsim.shard.barrier_wait_ns])
+    and of the per-active-queue inline cost, and the cutoff sits at
+    their break-even point, clamped to [2·S, 1024·S]. Starts at [16·S]
+    until both estimates have a sample. The cutoff only selects who
+    executes a cycle's lanes, never what they compute, so every
+    observable stays bit-identical whatever value it takes. *)
+
 val shard_of : t -> int -> int
 (** The shard owning a vertex. On an X-tree host shards are wedges of
     the recursive cut (each level's index range split into equal

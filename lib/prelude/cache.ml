@@ -25,8 +25,19 @@ type 'a shard = {
   mutable tail : 'a entry option;
   mutable count : int;
   mutable nbytes : int;
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_evictions : int;
   cap_entries : int;
   cap_bytes : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  resident_bytes : int;
 }
 
 type 'a t = { mask : int; shards : 'a shard array }
@@ -57,6 +68,9 @@ let create ?(shards = 8) ?(capacity = 256) ?max_bytes () =
             tail = None;
             count = 0;
             nbytes = 0;
+            n_hits = 0;
+            n_misses = 0;
+            n_evictions = 0;
             cap_entries;
             cap_bytes;
           });
@@ -95,6 +109,7 @@ let evict_over sh =
     (sh.count > sh.cap_entries || sh.nbytes > sh.cap_bytes) && Option.is_some sh.tail
   do
     (match sh.tail with Some e -> drop sh e | None -> ());
+    sh.n_evictions <- sh.n_evictions + 1;
     Obs.incr c_evictions
   done
 
@@ -122,8 +137,11 @@ let find t key =
     match Hashtbl.find_opt sh.table key with
     | Some e ->
         promote sh e;
+        sh.n_hits <- sh.n_hits + 1;
         Some e.value
-    | None -> None
+    | None ->
+        sh.n_misses <- sh.n_misses + 1;
+        None
   in
   Mutex.unlock sh.lock;
   (match r with Some _ -> Obs.incr c_hits | None -> Obs.incr c_misses);
@@ -160,6 +178,47 @@ let bytes t =
       acc + b)
     0 t.shards
 
+let stats t =
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.lock;
+      let s =
+        {
+          hits = acc.hits + sh.n_hits;
+          misses = acc.misses + sh.n_misses;
+          evictions = acc.evictions + sh.n_evictions;
+          entries = acc.entries + sh.count;
+          resident_bytes = acc.resident_bytes + sh.nbytes;
+        }
+      in
+      Mutex.unlock sh.lock;
+      s)
+    { hits = 0; misses = 0; evictions = 0; entries = 0; resident_bytes = 0 }
+    t.shards
+
+let fold t ~init ~f =
+  (* Snapshot each shard's recency chain under its lock, then run [f]
+     outside all locks so it may touch the cache (or block) freely. The
+     least-recent entry comes first so that replaying the fold through
+     [add] reproduces the recency order. *)
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.lock;
+      let chain = ref [] in
+      let cur = ref sh.head in
+      (* Walk head->tail consing as we go: the finished list reads
+         tail-first, i.e. least recent first. *)
+      while Option.is_some !cur do
+        (match !cur with
+        | Some e ->
+            chain := (e.key, e.value, e.size) :: !chain;
+            cur := e.next
+        | None -> ());
+      done;
+      Mutex.unlock sh.lock;
+      List.fold_left (fun acc (key, value, size) -> f acc ~key ~bytes:size value) acc !chain)
+    init t.shards
+
 let clear t =
   Array.iter
     (fun sh ->
@@ -190,6 +249,7 @@ let with_memo t ?bytes ?validate key f =
     match Hashtbl.find_opt sh.table key with
     | Some e when valid e.value ->
         promote sh e;
+        sh.n_hits <- sh.n_hits + 1;
         Mutex.unlock sh.lock;
         Obs.incr c_hits;
         e.value
@@ -212,6 +272,7 @@ let with_memo t ?bytes ?validate key f =
     | _ ->
         let latch = { lm = Mutex.create (); lc = Condition.create (); done_ = false } in
         Hashtbl.replace sh.inflight key latch;
+        sh.n_misses <- sh.n_misses + 1;
         Mutex.unlock sh.lock;
         Obs.incr c_misses;
         let cleanup () =

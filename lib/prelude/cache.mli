@@ -54,5 +54,26 @@ val remove : 'a t -> string -> unit
 val length : 'a t -> int
 val bytes : 'a t -> int
 
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  resident_bytes : int;
+}
+(** Per-instance totals since creation (the global Obs counters aggregate
+    over every cache in the process; these do not). [entries] and
+    [resident_bytes] are the current occupancy, the rest are monotone. *)
+
+val stats : 'a t -> stats
+
+val fold : 'a t -> init:'b -> f:('b -> key:string -> bytes:int -> 'a -> 'b) -> 'b
+(** Fold over a point-in-time snapshot of the entries, shard by shard,
+    least recently used first within each shard — replaying the fold
+    through {!add} therefore reproduces each shard's recency order
+    (same keys hash to the same shards, so cross-shard interleaving is
+    immaterial). [bytes] is the size estimate given at insertion. [f]
+    runs outside all shard locks and may use the cache. *)
+
 val clear : 'a t -> unit
 (** Drop all entries (not counted as evictions). *)

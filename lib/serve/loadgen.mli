@@ -1,0 +1,57 @@
+(** Shape-skewed load generation and replay for [xtree serve].
+
+    [make_shapes] builds a pool of structurally distinct guest trees (as
+    Codec payloads); [skewed_stream] samples a request sequence from the
+    pool with a power-law shape bias; [replay] drives the sequence
+    through a server connection in fixed-size windows, measuring one
+    round-trip time per request. Everything is deterministic from the
+    seed, so the same parameters always produce the same request bytes —
+    the serve smoke test byte-diffs a replay against [embed-batch] on
+    the identical stream.
+
+    Instruments: [loadgen.requests] / [loadgen.errors] counters and the
+    [loadgen.rtt_ns] histogram (metrics-gated; {!outcome} carries the
+    exact per-request samples regardless). *)
+
+val make_shapes : seed:int -> count:int -> size:int -> string array
+(** [count] structurally distinct trees of roughly [size] nodes (sizes
+    vary a few percent so deterministic generator families still yield
+    distinct shapes), drawn round-robin from {!Xt_bintree.Gen.families}
+    and deduplicated by canonical fingerprint. *)
+
+val skewed_stream :
+  seed:int -> shapes:string array -> requests:int -> skew:float -> string list
+(** A request sequence over the pool. Shape index is drawn as
+    [⌊k·u^(1+skew)⌋] for uniform [u): [skew = 0] is uniform over the
+    pool; larger values concentrate the stream on the low-index shapes
+    (the hot set). *)
+
+type reply = { index : int; request : string; payload : string }
+(** One response: the request's position in the stream, its payload, and
+    the raw response payload (decode with {!Wire.decode_response}). *)
+
+type outcome = {
+  sent : int;
+  errors : int;  (** Error responses received. *)
+  wall_ns : int;
+  rtt_ns : int array;  (** Send-to-response time per request, in stream order. *)
+}
+
+val replay :
+  ?window:int ->
+  ?on_reply:(reply -> unit) ->
+  requests:string list ->
+  in_channel * out_channel ->
+  outcome
+(** Write requests [window] (default 64) at a time, each window followed
+    by a flush marker, and read the window's responses before sending
+    the next — so pipe-buffer capacity bounds nothing but one window.
+    [on_reply] sees every response in order. Raises {!Wire.Protocol} if
+    the server closes mid-replay. *)
+
+val write_requests : out_channel -> string list -> unit
+(** Write a request file: every payload as a frame, no flush markers
+    (a server batches such a file up to its own batch limit). *)
+
+val read_requests : in_channel -> string list
+(** Read a request file back, skipping flush markers. *)

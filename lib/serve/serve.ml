@@ -1,0 +1,225 @@
+open Xt_obs
+open Xt_prelude
+open Xt_bintree
+open Xt_core
+
+let c_requests = Obs.counter "serve.requests"
+let c_batches = Obs.counter "serve.batches"
+let c_errors = Obs.counter "serve.errors"
+let c_unique = Obs.counter "serve.unique_shapes"
+let c_snapshot_loaded = Obs.counter "serve.snapshot_loaded"
+let c_snapshot_saved = Obs.counter "serve.snapshot_saved"
+let h_request_ns = Obs.histogram "serve.request_ns"
+
+type config = {
+  capacity : int;
+  cache_entries : int;
+  cache_bytes : int option;
+  snapshot : string option;
+  snapshot_every : int;
+  max_batch : int;
+  status : bool;
+}
+
+let default =
+  {
+    capacity = 16;
+    cache_entries = 4096;
+    cache_bytes = None;
+    snapshot = None;
+    snapshot_every = 0;
+    max_batch = 512;
+    status = false;
+  }
+
+type summary = {
+  requests : int;
+  batches : int;
+  errors : int;
+  loaded : int;
+  saved : int;
+  stats : Cache.stats;
+}
+
+let make_state config =
+  let cache =
+    Theorem1.make_cache ~capacity:config.cache_entries ?max_bytes:config.cache_bytes ()
+  in
+  let loaded =
+    match config.snapshot with
+    | None -> 0
+    | Some file when not (Sys.file_exists file) -> 0
+    | Some file -> (
+        match Theorem1.cache_load cache ~file with
+        | Ok n ->
+            Obs.add c_snapshot_loaded n;
+            n
+        | Error msg ->
+            Printf.eprintf "serve: ignoring snapshot %s: %s\n%!" file msg;
+            0)
+  in
+  (cache, loaded)
+
+let run ?(config = default) ?state ic oc =
+  let cache, loaded = match state with Some s -> s | None -> make_state config in
+  let requests = ref 0 and batches = ref 0 and errors = ref 0 in
+  let saved = ref 0 and since_flush = ref 0 in
+  let flush_snapshot () =
+    match config.snapshot with
+    | None -> ()
+    | Some file ->
+        let n = Theorem1.cache_save cache ~file in
+        saved := n;
+        since_flush := 0;
+        Obs.add c_snapshot_saved n
+  in
+  let process batch =
+    incr batches;
+    Obs.incr c_batches;
+    Obs.span "serve.batch" (fun () ->
+        let metered = Obs.metrics_enabled () in
+        let parsed = List.map Codec.of_string batch in
+        let seen = Hashtbl.create 16 in
+        let unique =
+          List.filter_map
+            (function
+              | Error _ -> None
+              | Ok t ->
+                  let key = Fingerprint.canonical_key t in
+                  if Hashtbl.mem seen key then None
+                  else begin
+                    Hashtbl.add seen key ();
+                    Some t
+                  end)
+            parsed
+        in
+        Obs.add c_unique (List.length unique);
+        (* Populate the cache for every unique shape in parallel; the
+           per-request pass below then serves pure hits in input order. *)
+        ignore
+          (Parallel.map
+             (fun t -> ignore (Theorem1.embed ~capacity:config.capacity ~cache t))
+             unique);
+        List.iter
+          (fun p ->
+            let t0 = if metered then Obs.now_ns () else 0 in
+            let resp =
+              match p with
+              | Error msg ->
+                  incr errors;
+                  Obs.incr c_errors;
+                  Wire.encode_error msg
+              | Ok t ->
+                  let r = Theorem1.embed ~capacity:config.capacity ~cache t in
+                  Wire.encode_ok
+                    {
+                      Wire.height = r.Theorem1.height;
+                      fallbacks = r.Theorem1.fallbacks;
+                      place = r.Theorem1.embedding.Xt_embedding.Embedding.place;
+                    }
+            in
+            Wire.write_frame oc resp;
+            incr requests;
+            Obs.incr c_requests;
+            if metered then Obs.observe h_request_ns (Obs.now_ns () - t0))
+          parsed;
+        flush oc);
+    if config.status then begin
+      let s = Theorem1.cache_stats cache in
+      Printf.eprintf
+        "serve: batches=%d requests=%d errors=%d cache: hits=%d misses=%d evictions=%d \
+         entries=%d bytes=%d\n\
+         %!"
+        !batches !requests !errors s.Cache.hits s.Cache.misses s.Cache.evictions
+        s.Cache.entries s.Cache.resident_bytes
+    end;
+    since_flush := !since_flush + List.length batch;
+    if config.snapshot_every > 0 && !since_flush >= config.snapshot_every then
+      flush_snapshot ()
+  in
+  let pending = ref [] and npending = ref 0 in
+  let flush_pending () =
+    if !npending > 0 then begin
+      let batch = List.rev !pending in
+      pending := [];
+      npending := 0;
+      process batch
+    end
+  in
+  (try
+     let eof = ref false in
+     while not !eof do
+       match Wire.read_frame ic with
+       | None -> eof := true
+       | Some "" -> flush_pending ()
+       | Some payload ->
+           pending := payload :: !pending;
+           incr npending;
+           if !npending >= config.max_batch then flush_pending ()
+     done
+   with Wire.Protocol msg -> Printf.eprintf "serve: protocol error: %s\n%!" msg);
+  flush_pending ();
+  flush_snapshot ();
+  {
+    requests = !requests;
+    batches = !batches;
+    errors = !errors;
+    loaded;
+    saved = !saved;
+    stats = Theorem1.cache_stats cache;
+  }
+
+let listen ?(config = default) ?max_conns ~path () =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try if Sys.file_exists path then Sys.remove path with Sys_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  let state = make_state config in
+  let conns = ref 0 in
+  let more () = match max_conns with None -> true | Some m -> !conns < m in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close sock;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      while more () do
+        let fd, _ = Unix.accept sock in
+        incr conns;
+        let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+        set_binary_mode_in ic true;
+        set_binary_mode_out oc true;
+        let summary = run ~config ~state ic oc in
+        if config.status then
+          Printf.eprintf "serve: connection %d closed after %d requests\n%!" !conns
+            summary.requests;
+        (try flush oc with Sys_error _ -> ());
+        Unix.close fd
+      done)
+
+let in_process ?(config = default) ?state client =
+  let req_r, req_w = Unix.pipe ~cloexec:false () in
+  let resp_r, resp_w = Unix.pipe ~cloexec:false () in
+  let server_ic = Unix.in_channel_of_descr req_r in
+  let server_oc = Unix.out_channel_of_descr resp_w in
+  let client_ic = Unix.in_channel_of_descr resp_r in
+  let client_oc = Unix.out_channel_of_descr req_w in
+  List.iter (fun c -> set_binary_mode_in c true) [ server_ic; client_ic ];
+  List.iter (fun c -> set_binary_mode_out c true) [ server_oc; client_oc ];
+  let dom =
+    Domain.spawn (fun () ->
+        let summary = run ~config ?state server_ic server_oc in
+        close_in_noerr server_ic;
+        close_out_noerr server_oc;
+        summary)
+  in
+  let finish () =
+    close_out_noerr client_oc;
+    let summary = Domain.join dom in
+    close_in_noerr client_ic;
+    summary
+  in
+  match client (client_ic, client_oc) with
+  | result -> (result, finish ())
+  | exception exn ->
+      ignore (finish ());
+      raise exn

@@ -1,0 +1,82 @@
+(** The [xtree serve] engine: a long-lived embedding service.
+
+    Requests ({!Xt_bintree.Codec} strings, length-framed per {!Wire})
+    are buffered until a flush marker, the batch limit or EOF, then the
+    batch is deduplicated by {!Xt_bintree.Fingerprint} canonical shape,
+    each unique shape is embedded once on the {!Xt_prelude.Parallel}
+    domain pool through a shared {!Xt_core.Theorem1} shape cache, and
+    one response per request is written back in input order — exactly
+    the [embed-batch] pipeline, kept alive between batches. Codec
+    numbers nodes in preorder, so every response is bit-identical to a
+    direct [Theorem1.embed] on that request (the equivalence suite in
+    [test/test_serve.ml] checks this).
+
+    With [config.snapshot] set, the shape cache is restored from the
+    snapshot file at startup and flushed back (atomically, see
+    {!Xt_core.Theorem1.cache_save}) every [snapshot_every] requests and
+    at EOF, so a restarted server resumes warm.
+
+    Instruments: [serve.requests] / [serve.batches] / [serve.errors] /
+    [serve.unique_shapes] / [serve.snapshot_loaded] /
+    [serve.snapshot_saved] counters, the [serve.request_ns] histogram
+    (per-response service time, metrics-gated) and a [serve.batch]
+    trace span per batch. *)
+
+type config = {
+  capacity : int;  (** Embedding capacity (the paper's load factor). *)
+  cache_entries : int;  (** Shape-cache entry bound. *)
+  cache_bytes : int option;  (** Shape-cache byte bound. *)
+  snapshot : string option;  (** Snapshot file; [None] disables persistence. *)
+  snapshot_every : int;
+      (** Flush the snapshot every this many requests (plus once at EOF);
+          [0] flushes at EOF only. *)
+  max_batch : int;  (** Embed at most this many buffered requests at once. *)
+  status : bool;  (** Per-batch status line (with cache stats) on stderr. *)
+}
+
+val default : config
+(** capacity 16, 4096 entries, no byte bound, no snapshot, batch 512,
+    no status lines. *)
+
+type summary = {
+  requests : int;  (** Responses written. *)
+  batches : int;
+  errors : int;  (** Error responses (undecodable request payloads). *)
+  loaded : int;  (** Snapshot entries restored at startup. *)
+  saved : int;  (** Entries in the most recent snapshot flush. *)
+  stats : Xt_prelude.Cache.stats;  (** Shape-cache stats at exit. *)
+}
+
+val make_state : config -> Xt_core.Theorem1.cache * int
+(** Build the shape cache for [config], restoring the snapshot (if any;
+    a missing or corrupt file logs to stderr and starts cold). Returns
+    the cache and the number of entries restored. Use this to share one
+    cache across {!run} calls — successive connections of a socket
+    server, or a benchmark that wants to sample
+    {!Xt_core.Theorem1.cache_stats} mid-run. *)
+
+val run :
+  ?config:config ->
+  ?state:Xt_core.Theorem1.cache * int ->
+  in_channel ->
+  out_channel ->
+  summary
+(** Serve one request stream to EOF. [state] defaults to a fresh
+    {!make_state}; pass it explicitly to keep the cache (and its
+    snapshot warmth) across streams. *)
+
+val listen :
+  ?config:config -> ?max_conns:int -> path:string -> unit -> unit
+(** Bind a Unix-domain stream socket at [path] (unlinking a stale one)
+    and serve connections sequentially, sharing one cache across all of
+    them. Stops after [max_conns] connections (default: forever). *)
+
+val in_process :
+  ?config:config ->
+  ?state:Xt_core.Theorem1.cache * int ->
+  (in_channel * out_channel -> 'a) ->
+  'a * summary
+(** Run a server over a pair of pipes in a spawned domain, call the
+    client function with the client-side channels (read responses from
+    the first, write requests to the second), close the request channel
+    when it returns, and join the server. For tests and benchmarks. *)

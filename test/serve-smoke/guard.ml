@@ -1,0 +1,30 @@
+(* Allocation guard for the @serve-smoke alias: the serve steady state is
+   a cache hit — a repeated shape must be answered from the memoised
+   placement, never by re-running the embedding pipeline. A full run on a
+   ~500-node tree allocates megawords; a hit decodes the stored entry and
+   rebuilds the result record, which is O(n). The threshold sits well
+   above the hit path and well below the pipeline, so a regression that
+   silently stops hitting the cache fails loudly. Prints one parseable
+   line for check.sh. *)
+
+let () =
+  let open Xt_prelude in
+  let open Xt_bintree in
+  let open Xt_core in
+  let tree = Gen.uniform (Rng.make ~seed:5) 509 in
+  let cache = Theorem1.make_cache ~capacity:64 () in
+  let embed () = Theorem1.embed ~capacity:16 ~cache tree in
+  ignore (embed ());
+  for _ = 1 to 4 do
+    ignore (embed ())
+  done;
+  Gc.minor ();
+  let before = Gc.minor_words () in
+  ignore (embed ());
+  let allocated = Gc.minor_words () -. before in
+  Printf.printf "hit-minor-words = %.0f\n" allocated;
+  let stats = Theorem1.cache_stats cache in
+  Printf.printf "hits = %d misses = %d\n" stats.Cache.hits stats.Cache.misses;
+  print_endline
+    (if allocated < 65536. && stats.Cache.misses = 1 then "guard PASS"
+     else "guard FAIL")

@@ -261,9 +261,40 @@ let test_shape_dedup_counts () =
     shapes;
   Alcotest.(check int) "one entry per shape" (List.length shapes) (Theorem1.cache_length cache)
 
+let test_stats () =
+  let c : int Cache.t = Cache.create ~shards:1 ~capacity:2 () in
+  let z = Cache.stats c in
+  Alcotest.(check (list int)) "fresh cache all zero"
+    [ 0; 0; 0; 0; 0 ]
+    [ z.Cache.hits; z.Cache.misses; z.Cache.evictions; z.Cache.entries; z.Cache.resident_bytes ];
+  Alcotest.(check bool) "miss" true (Cache.find c "a" = None);
+  Cache.add c ~bytes:10 "a" 1;
+  Alcotest.(check bool) "hit" true (Cache.find c "a" = Some 1);
+  Alcotest.(check int) "memo miss computes" 2
+    (Cache.with_memo c ~bytes:(fun _ -> 5) "b" (fun () -> 2));
+  Alcotest.(check int) "memo hit serves" 2
+    (Cache.with_memo c "b" (fun () -> Alcotest.fail "hit recomputed"));
+  Cache.add c ~bytes:7 "c" 3 (* capacity 2: evicts "a", the LRU *);
+  let s = Cache.stats c in
+  Alcotest.(check (list int)) "hits/misses/evictions/entries/bytes"
+    [ 2; 2; 1; 2; 12 ]
+    [ s.Cache.hits; s.Cache.misses; s.Cache.evictions; s.Cache.entries; s.Cache.resident_bytes ]
+
+let test_fold_order () =
+  let c : int Cache.t = Cache.create ~shards:1 ~capacity:8 () in
+  List.iter (fun (k, v) -> Cache.add c ~bytes:v k v) [ ("a", 1); ("b", 2); ("c", 3) ];
+  ignore (Cache.find c "a") (* recency now a > c > b *);
+  let got =
+    List.rev (Cache.fold c ~init:[] ~f:(fun acc ~key ~bytes v -> (key, bytes, v) :: acc))
+  in
+  Alcotest.(check bool) "least recent first, bytes preserved" true
+    (got = [ ("b", 2, 2); ("c", 3, 3); ("a", 1, 1) ])
+
 let suite =
   [
     Alcotest.test_case "enum shapes map to distinct keys" `Quick test_enum_shapes_distinct;
+    Alcotest.test_case "per-instance stats" `Quick test_stats;
+    Alcotest.test_case "fold is lru-first snapshot" `Quick test_fold_order;
     Alcotest.test_case "mirror trees differ" `Quick test_mirrors_differ;
     Alcotest.test_case "fingerprint is label independent" `Quick test_label_independent;
     Alcotest.test_case "subtree fingerprints and ranks" `Quick test_subtrees_and_ranks;

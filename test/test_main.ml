@@ -24,4 +24,5 @@ let () =
       ("obs", Test_obs.suite);
       ("trace-report", Test_trace_report.suite);
       ("cache", Test_cache.suite);
+      ("serve", Test_serve.suite);
     ]

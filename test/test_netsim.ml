@@ -296,6 +296,38 @@ let test_run_suite_sharded_matches () =
       check (what ^ " max inbox") a.Workload.max_inbox b.Workload.max_inbox)
     plain sharded
 
+(* The cutoff starts at the 16·S prior, adapts only from measured
+   samples, and stays inside its clamps; a run across the cutoff keeps
+   results identical (covered above — this pins the sizing contract). *)
+let test_sparse_cutoff_adapts () =
+  let g = Xtree.graph (Xtree.create ~height:4) in
+  let sim = Sim.create ~shards:4 g in
+  check "initial cutoff is the 16*S prior" 64 (Sim.sparse_cutoff sim);
+  let rng = Xt_prelude.Rng.make ~seed:9 in
+  let t = Gen.uniform rng (Theorem1.optimal_size 4) in
+  let e = (Theorem1.embed t).Theorem1.embedding in
+  List.iter
+    (fun shards ->
+      ignore (Workload.run_embedded ~service_rate:2 ~shards Workload.all_reduce e))
+    [ 4; 4; 4 ];
+  let sim2 = Sim.create ~shards:4 g in
+  let c = Sim.sparse_cutoff sim2 in
+  checkb "fresh sim back at prior" true (c = 64);
+  (* drive one sim long enough for sampled cycles to fire, then check
+     the clamp window *)
+  let host = Xtree.graph (Xtree.create ~height:6) in
+  let sim3 = Sim.create ~shards:4 host in
+  let n = Graph.n host in
+  for v = 1 to n - 1 do
+    Sim.send sim3 ~src:v ~dst:0 ~tag:v
+  done;
+  ignore (Sim.run sim3 ~on_deliver:(fun ~tag:_ _ -> ()));
+  let c3 = Sim.sparse_cutoff sim3 in
+  checkb
+    (Printf.sprintf "cutoff %d within clamps [8, 4096]" c3)
+    true
+    (c3 >= 8 && c3 <= 4096)
+
 (* ---------------- router: dense rows == tree-mode lifting ------------ *)
 
 type route_case = { fname : string; size : int; seed : int }
@@ -344,6 +376,7 @@ let qcheck_router_modes =
 let suite =
   suite
   @ [
+      ("sparse cutoff sizing contract", `Quick, test_sparse_cutoff_adapts);
       ("permutation workload", `Quick, test_permutation_workload);
       ("service rate serialises", `Quick, test_service_rate_serialises);
       ("service rate models load", `Quick, test_service_rate_models_load);
